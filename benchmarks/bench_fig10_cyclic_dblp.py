@@ -1,0 +1,62 @@
+"""Figure 10 (table): cyclic queries on the DBLP-like dataset, SUM.
+
+Paper layout: rows four/six/eight cycle + bowtie, columns k = 10..10^4,
+cells = seconds.  Expected shape: cost ordered four < six < eight <
+bowtie (more/larger width-2 bags to materialise) with mild growth in k;
+the fastest engine needed minutes for the four-cycle and DNF'd beyond
+(the GHD preprocessing is the dominant, k-independent cost here).
+"""
+
+import pytest
+
+from repro.bench import format_table, time_top_k
+from repro.core import CyclicRankedEnumerator
+from repro.query import find_ghd
+from repro.workloads import bipartite_cycle, bowtie
+
+from bench_utils import dblp_cyclic, write_report
+
+K_SWEEP = (10, 100, 1000)
+
+QUERIES = {
+    "four cycle": lambda: bipartite_cycle(2),
+    "six cycle": lambda: bipartite_cycle(3),
+    "eight cycle": lambda: bipartite_cycle(4),
+    "bowtie": bowtie,
+}
+
+
+def _factory(workload, spec):
+    ranking = workload.ranking(spec, kind="sum")
+    ghd = find_ghd(spec.query)  # cached across runs, like a query plan
+    return lambda: CyclicRankedEnumerator(spec.query, workload.db, ranking, ghd=ghd)
+
+
+def test_fig10_four_cycle_top10(benchmark):
+    workload = dblp_cyclic()
+    spec = QUERIES["four cycle"]()
+    factory = _factory(workload, spec)
+    benchmark.pedantic(lambda: factory().top_k(10), rounds=2, iterations=1)
+
+
+def test_fig10_report(benchmark):
+    workload = dblp_cyclic()
+
+    def run() -> str:
+        rows = []
+        for qname, qbuild in QUERIES.items():
+            spec = qbuild()
+            factory = _factory(workload, spec)
+            row = [qname]
+            for k in K_SWEEP:
+                row.append(time_top_k(factory, k).seconds)
+            rows.append(row)
+        return format_table(
+            f"Figure 10 [{workload.name}, |D|={workload.db.size}] — cyclic queries, SUM",
+            ["query"] + [f"k={k}" for k in K_SWEEP],
+            rows,
+            note="paper shape: four < six < eight < bowtie, mild growth in k",
+        )
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("fig10_cyclic_dblp", text)

@@ -1,0 +1,83 @@
+"""Figure 8 (a-d): large-scale datasets (Memetracker/Friendster), SUM.
+
+Paper findings: on the large, heavily duplicated datasets none of the
+engines produced even the top-10 within 5 hours; LinDelay finishes and
+its runtime grows with k as the priority queues fill (fastest growth on
+Memetracker, whose answer duplication is the heaviest).  Here the
+engine is given an intermediate-tuple budget and its DNF is recorded
+when the budget blows.
+"""
+
+import pytest
+
+from repro.algorithms import EngineBaseline
+from repro.bench import Measurement, measurements_table, time_top_k
+from repro.core import AcyclicRankedEnumerator
+from repro.workloads import three_hop, two_hop
+
+from bench_utils import friendster, memetracker, write_report
+
+K_SWEEP = (10, 100, 1000, 10000)
+
+PANELS = {
+    "memetracker_2hop": (memetracker, two_hop),
+    "memetracker_3hop": (memetracker, three_hop),
+    "friendster_2hop": (friendster, two_hop),
+    "friendster_3hop": (friendster, three_hop),
+}
+
+# A deliberately tight budget: the paper's engines exhausted 128 GB on
+# these workloads; the synthetic equivalents blow through this cap.
+ENGINE_BUDGET = 400_000
+
+
+def _lin_factory(workload, spec):
+    ranking = workload.ranking(spec, kind="sum")
+    return lambda: AcyclicRankedEnumerator(spec.query, workload.db, ranking)
+
+
+@pytest.mark.parametrize("panel", ["memetracker_2hop", "friendster_2hop"])
+def test_fig8_lindelay_top1000(benchmark, panel):
+    workload_fn, qbuild = PANELS[panel]
+    workload = workload_fn()
+    spec = qbuild()
+    factory = _lin_factory(workload, spec)
+    benchmark.pedantic(lambda: factory().top_k(1000), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("panel", PANELS)
+def test_fig8_report(benchmark, panel):
+    workload_fn, qbuild = PANELS[panel]
+    workload = workload_fn()
+    spec = qbuild()
+
+    def run() -> str:
+        measurements = [
+            time_top_k(_lin_factory(workload, spec), k, label="LinDelay")
+            for k in K_SWEEP
+        ]
+        ranking = workload.ranking(spec, kind="sum")
+        try:
+            engine = time_top_k(
+                lambda: EngineBaseline(
+                    spec.query, workload.db, ranking, memory_limit_tuples=ENGINE_BUDGET
+                ),
+                10,
+                label="engine",
+            )
+            engine_rows = [
+                Measurement("engine", k, engine.seconds, engine.answers)
+                for k in K_SWEEP
+            ]
+        except MemoryError:
+            engine_rows = [
+                Measurement("engine (DNF)", k, float("nan"), 0) for k in K_SWEEP
+            ]
+        return measurements_table(
+            f"Figure 8 [{workload.name} {spec.name}] — SUM, |D|={workload.db.size}",
+            measurements + engine_rows,
+            note="paper: engines did not finish within 5h on these datasets",
+        )
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report(f"fig8_{panel}", text)

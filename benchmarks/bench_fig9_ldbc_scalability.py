@@ -1,0 +1,56 @@
+"""Figure 9 (table): LDBC-like UCQ scalability vs scale factor.
+
+Paper layout: rows Q3/Q10/Q11, columns SF = 10..50, cells = seconds to
+the ranked answer set (engines needed > 3h even at SF = 10).  Expected
+shape: runtime grows ~linearly with the scale factor, Q3 > Q10 > Q11.
+"""
+
+import pytest
+
+from repro.bench import format_table, time_top_k
+from repro.core import UnionRankedEnumerator
+from repro.workloads import ldbc_q3_like, ldbc_q10_like, ldbc_q11_like
+
+from bench_utils import ldbc, write_report
+
+SCALE_FACTORS = (2, 4, 6, 8, 10)
+
+QUERIES = {
+    "Q3": ldbc_q3_like,
+    "Q10": ldbc_q10_like,
+    "Q11": ldbc_q11_like,
+}
+
+
+def _factory(workload, spec):
+    ranking = workload.ranking(spec, kind="sum")
+    return lambda: UnionRankedEnumerator(spec.query, workload.db, ranking)
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig9_ldbc_top1000_sf2(benchmark, query):
+    workload = ldbc(2)
+    spec = QUERIES[query]()
+    factory = _factory(workload, spec)
+    benchmark.pedantic(lambda: factory().top_k(1000), rounds=2, iterations=1)
+
+
+def test_fig9_report(benchmark):
+    def run() -> str:
+        rows = []
+        for qname, qbuild in QUERIES.items():
+            row = [qname]
+            for sf in SCALE_FACTORS:
+                workload = ldbc(sf)
+                spec = qbuild()
+                row.append(time_top_k(_factory(workload, spec), None).seconds)
+            rows.append(row)
+        return format_table(
+            "Figure 9 — LDBC-like UCQ scalability (full ranked answer set, seconds)",
+            ["query"] + [f"SF={sf}" for sf in SCALE_FACTORS],
+            rows,
+            note="paper: linear growth in SF; engines needed >3h even at the smallest SF",
+        )
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report("fig9_ldbc", text)

@@ -1,0 +1,56 @@
+"""Scenario: top-k network analysis on a DBLP-like co-authorship graph.
+
+The paper's flagship experiment (Figure 5): compare LinDelay against the
+engine-style materialise→dedup→sort pipeline on 2-hop / 3-hop / 4-hop
+reachability queries.  This example runs a scaled-down version and
+prints the timing table — watch the engine pay the full-join cost even
+for LIMIT 10 while LinDelay's cost scales with k.
+
+Run:  python examples/coauthor_topk.py
+"""
+
+import time
+
+from repro.algorithms import BfsSortBaseline, EngineBaseline
+from repro.core import create_enumerator
+from repro.workloads import four_hop, make_dblp_like, three_hop, two_hop
+
+
+def timed(factory, k):
+    start = time.perf_counter()
+    enum = factory()
+    answers = enum.top_k(k)
+    return time.perf_counter() - start, enum, answers
+
+
+def main() -> None:
+    workload = make_dblp_like(scale=0.4, seed=0)
+    print(f"dataset: {workload.name}, |D| = {workload.db.size} edges\n")
+
+    for spec in (two_hop(), three_hop(), four_hop()):
+        ranking = workload.ranking(spec, kind="sum", descending=True)
+        print(f"--- {spec.name}: top-10 heaviest pairs ---")
+
+        t_lin, lin_enum, answers = timed(
+            lambda: create_enumerator(spec.query, workload.db, ranking), 10
+        )
+        t_eng, eng_enum, eng_answers = timed(
+            lambda: EngineBaseline(spec.query, workload.db, ranking, label="engine"), 10
+        )
+        t_bfs, bfs_enum, _ = timed(
+            lambda: BfsSortBaseline(spec.query, workload.db, ranking), 10
+        )
+        assert [a.values for a in answers] == [a.values for a in eng_answers]
+
+        print(f"  LinDelay   {t_lin:8.3f}s   peak PQ entries: {lin_enum.stats.peak_pq_entries}")
+        print(
+            f"  engine     {t_eng:8.3f}s   materialised intermediates: "
+            f"{eng_enum.intermediate_tuples}"
+        )
+        print(f"  BFS+sort   {t_bfs:8.3f}s   distinct output size: {bfs_enum.output_size}")
+        top = answers[0]
+        print(f"  best pair: {top.values} (score {top.score:.2f})\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Scenario: ranked graph-motif search with cyclic queries (Theorem 3).
+
+Cyclic join-project queries power motif analytics: "find the
+heaviest 4-cycles" (pairs of authors sharing two distinct papers),
+butterflies, bowties.  Engines materialise the full cyclic join; the
+GHD-based enumerator materialises only width-2 bags and then streams
+answers in rank order.
+
+Run:  python examples/cyclic_motifs.py
+"""
+
+import time
+
+from repro.core import CyclicRankedEnumerator
+from repro.query import find_ghd
+from repro.workloads import bipartite_cycle, make_dblp_like
+
+
+def main() -> None:
+    workload = make_dblp_like(scale=0.15, seed=7)
+    print(f"dataset: {workload.name}, |D| = {workload.db.size}\n")
+
+    spec = bipartite_cycle(2)  # the four-cycle: a1-p1-a2-p2-a1
+    ranking = workload.ranking(spec, kind="sum", descending=True)
+
+    ghd = find_ghd(spec.query)
+    print(f"query: {spec.query}")
+    print(f"GHD:   width {ghd.width:.1f}, bags {[sorted(b.variables) for b in ghd.bags]}\n")
+
+    t0 = time.perf_counter()
+    enum = CyclicRankedEnumerator(spec.query, workload.db, ranking, ghd=ghd)
+    top = enum.top_k(10)
+    elapsed = time.perf_counter() - t0
+
+    print("top-10 heaviest co-author 4-cycles (a1, a2):")
+    for answer in top:
+        print(f"  {answer.values}   combined weight {answer.score:.2f}")
+    print(
+        f"\n{elapsed:.2f}s total; bag materialisation: "
+        f"{enum.materialised_tuples} tuples (vs the full cyclic join)"
+    )
+
+    # The six-cycle (author, paper) motif, smaller k.
+    six = bipartite_cycle(3)
+    ranking6 = workload.ranking(six, kind="sum", descending=True)
+    t0 = time.perf_counter()
+    enum6 = CyclicRankedEnumerator(six.query, workload.db, ranking6)
+    top6 = enum6.top_k(5)
+    print(f"\nsix-cycle top-5 in {time.perf_counter() - t0:.2f}s:")
+    for answer in top6:
+        print(f"  {answer.values}   score {answer.score:.2f}")
+
+
+if __name__ == "__main__":
+    main()

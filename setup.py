@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets is fully offline and ships a
+setuptools without the ``wheel`` package, so PEP 517 editable installs
+(`pip install -e .` building a wheel) are unavailable.  Keeping a
+``setup.py`` lets pip fall back to the classic ``setup.py develop`` path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""Substrate algorithms: Yannakakis, semi-joins, and the baselines the
+paper evaluates against (engine-style materialise/sort, BFS+sort,
+Algorithm 6, and the brute-force test oracle).
+
+Attributes are resolved lazily (PEP 562): the enumerators in
+:mod:`repro.core` import the Yannakakis machinery from here while the
+baselines import the enumerators back, so eager re-exports would form an
+import cycle.
+"""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .baseline import EngineBaseline
+    from .bfs_sort import BfsSortBaseline
+    from .existing import FullQueryRankedBaseline
+    from .naive import join_results, ranked_output, ranked_union_output
+    from .semijoin import antijoin, key_set, semijoin, shared_positions
+    from .yannakakis import atom_instances, evaluate, full_reduce, project_join
+
+__all__ = [
+    "EngineBaseline",
+    "BfsSortBaseline",
+    "FullQueryRankedBaseline",
+    "join_results",
+    "ranked_output",
+    "ranked_union_output",
+    "semijoin",
+    "antijoin",
+    "key_set",
+    "shared_positions",
+    "atom_instances",
+    "full_reduce",
+    "project_join",
+    "evaluate",
+]
+
+_HOMES = {
+    "EngineBaseline": "baseline",
+    "BfsSortBaseline": "bfs_sort",
+    "FullQueryRankedBaseline": "existing",
+    "join_results": "naive",
+    "ranked_output": "naive",
+    "ranked_union_output": "naive",
+    "semijoin": "semijoin",
+    "antijoin": "semijoin",
+    "key_set": "semijoin",
+    "shared_positions": "semijoin",
+    "atom_instances": "yannakakis",
+    "full_reduce": "yannakakis",
+    "project_join": "yannakakis",
+    "evaluate": "yannakakis",
+}
+
+
+def __getattr__(name: str):
+    home = _HOMES.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{home}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value

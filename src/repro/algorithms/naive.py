@@ -1,0 +1,88 @@
+"""Brute-force reference evaluation (test oracle).
+
+Joins all atoms by backtracking over variable assignments, projects,
+de-duplicates, and sorts by ``(rank key, output tuple)`` — exactly the
+order every enumerator must reproduce.  Exponential and tiny-input only;
+used by the differential test suites, never by benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.ranking import RankingFunction, SumRanking
+from ..data.database import Database
+from ..query.query import JoinProjectQuery, UnionQuery
+
+__all__ = ["join_results", "ranked_output", "ranked_union_output"]
+
+Row = tuple
+
+
+def join_results(query: JoinProjectQuery, db: Database) -> list[dict[str, Any]]:
+    """All satisfying variable assignments (as dicts), with multiplicity
+    one per combination of (distinct) atom tuples."""
+    from .yannakakis import atom_instances
+
+    instances = atom_instances(query, db)
+    results: list[dict[str, Any]] = []
+
+    def extend(i: int, binding: dict[str, Any]) -> None:
+        if i == len(query.atoms):
+            results.append(dict(binding))
+            return
+        atom = query.atoms[i]
+        for row in instances[atom.alias]:
+            new = dict(binding)
+            ok = True
+            for var, value in zip(atom.variables, row):
+                if var in new:
+                    if new[var] != value:
+                        ok = False
+                        break
+                else:
+                    new[var] = value
+            if ok:
+                extend(i + 1, new)
+
+    extend(0, {})
+    return results
+
+
+def ranked_output(
+    query: JoinProjectQuery,
+    db: Database,
+    ranking: RankingFunction | None = None,
+) -> list[tuple[Row, Any]]:
+    """Distinct projected output sorted by ``(rank key, tuple)``.
+
+    Returns ``[(head tuple, final score), ...]`` — the exact sequence a
+    correct ranked enumerator must produce.
+    """
+    ranking = ranking or SumRanking()
+    bound = ranking.bind({v: i for i, v in enumerate(query.head)})
+    distinct: set[Row] = set()
+    for binding in join_results(query, db):
+        distinct.add(tuple(binding[v] for v in query.head))
+    keyed = [
+        (bound.key_of_output(query.head, values), values) for values in distinct
+    ]
+    keyed.sort()
+    return [(values, bound.final_score(key)) for key, values in keyed]
+
+
+def ranked_union_output(
+    union: UnionQuery,
+    db: Database,
+    ranking: RankingFunction | None = None,
+) -> list[tuple[Row, Any]]:
+    """Oracle for UCQs: union of branch outputs, ranked and de-duplicated."""
+    ranking = ranking or SumRanking()
+    bound = ranking.bind({v: i for i, v in enumerate(union.head)})
+    distinct: set[Row] = set()
+    for branch in union.branches:
+        for binding in join_results(branch, db):
+            distinct.add(tuple(binding[v] for v in branch.head))
+    keyed = [(bound.key_of_output(union.head, values), values) for values in distinct]
+    keyed.sort()
+    return [(values, bound.final_score(key)) for key, values in keyed]

@@ -1,0 +1,78 @@
+"""Semi-join primitives over positional row lists.
+
+The enumerators and the Yannakakis reducer work on *atom instances*:
+plain lists of tuples whose columns align with an atom's variable tuple.
+These helpers implement the hash-based primitives over that
+representation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["shared_positions", "key_set", "semijoin", "antijoin"]
+
+Row = tuple
+
+
+def shared_positions(
+    vars_a: Sequence[str], vars_b: Sequence[str]
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Aligned column positions of the shared variables of two schemas.
+
+    The shared variables are taken in ``vars_a`` order; the returned
+    position tuples project rows of either side onto the same key space.
+
+    >>> shared_positions(("a", "b", "c"), ("c", "b", "d"))
+    ((1, 2), (1, 0))
+    """
+    shared = [v for v in vars_a if v in vars_b]
+    pos_a = tuple(vars_a.index(v) for v in shared)
+    pos_b = tuple(vars_b.index(v) for v in shared)
+    return pos_a, pos_b
+
+
+def key_set(rows: Sequence[Row], positions: Sequence[int]) -> set[tuple]:
+    """Distinct projections of ``rows`` onto ``positions``."""
+    pos = tuple(positions)
+    return {tuple(r[i] for i in pos) for r in rows}
+
+
+def semijoin(
+    left_rows: Sequence[Row],
+    left_positions: Sequence[int],
+    right_rows: Sequence[Row],
+    right_positions: Sequence[int],
+) -> list[Row]:
+    """``left ⋉ right``: left rows with a join partner on the right.
+
+    With no shared columns (both position tuples empty) this degenerates
+    to "keep left iff right is non-empty", which is the correct semantics
+    for cartesian-product join-tree edges.  The single-column case — by
+    far the most common in the paper's queries — avoids per-row tuple
+    construction (this sits on the lexicographic enumerator's hot path).
+    """
+    if not left_positions and not right_positions:
+        return list(left_rows) if right_rows else []
+    if len(left_positions) == 1 and len(right_positions) == 1:
+        j = right_positions[0]
+        keys = {r[j] for r in right_rows}
+        i = left_positions[0]
+        return [r for r in left_rows if r[i] in keys]
+    keys = key_set(right_rows, right_positions)
+    pos = tuple(left_positions)
+    return [r for r in left_rows if tuple(r[i] for i in pos) in keys]
+
+
+def antijoin(
+    left_rows: Sequence[Row],
+    left_positions: Sequence[int],
+    right_rows: Sequence[Row],
+    right_positions: Sequence[int],
+) -> list[Row]:
+    """``left ▷ right``: left rows with *no* join partner on the right."""
+    if not left_positions and not right_positions:
+        return [] if right_rows else list(left_rows)
+    keys = key_set(right_rows, right_positions)
+    pos = tuple(left_positions)
+    return [r for r in left_rows if tuple(r[i] for i in pos) not in keys]

@@ -1,0 +1,176 @@
+"""The Yannakakis algorithm: full reducer and join evaluation.
+
+Both the preprocessing phase of Algorithm 1 and the star-query
+preprocessing (Algorithm 4) start with the classic Yannakakis machinery
+[70]:
+
+* :func:`full_reduce` — two semi-join sweeps over a join tree that delete
+  every *dangling* tuple (one that participates in no join result); for
+  acyclic queries the reduced instance is globally consistent.
+* :func:`project_join` — the multiway bottom-up join that materialises,
+  per node, the subquery result over ``A^π_i ∪ anchor(R_i)`` (with early
+  projection + dedup), and thus the distinct projected output at the
+  root.  This is the paper's "BFS" building block and the engine of the
+  heavy-output materialisation ``O_H``.
+* :func:`evaluate` — convenience: distinct ``Q(D)`` as a set of head
+  tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..data.database import Database
+from ..data.index import group_by
+from ..errors import QueryError
+from ..query.jointree import JoinTree, JoinTreeNode, build_join_tree
+from ..query.query import JoinProjectQuery
+from .semijoin import semijoin, shared_positions
+
+__all__ = ["atom_instances", "full_reduce", "project_join", "evaluate"]
+
+Row = tuple
+Instances = dict[str, list[Row]]
+
+
+def atom_instances(
+    query: JoinProjectQuery, db: Database, *, distinct: bool = True
+) -> Instances:
+    """Bind every atom to its relation's rows (validating arities).
+
+    Equality selections (:class:`~repro.query.query.Const` terms) are
+    applied here, and rows are projected onto the atom's variable
+    columns, so every downstream consumer sees rows aligned with
+    ``atom.variables``.  Set semantics: duplicate rows are dropped by
+    default, matching the paper's model (a database is a *set* of
+    tuples).
+    """
+    out: Instances = {}
+    for atom in query.atoms:
+        rel = db[atom.relation]
+        if rel.arity != atom.arity:
+            raise QueryError(
+                f"atom {atom!r} has {atom.arity} terms but relation "
+                f"{rel.name!r} has arity {rel.arity}"
+            )
+        rows: list[Row]
+        selections = atom.selections
+        var_positions = atom.variable_positions
+        if selections or len(var_positions) != rel.arity:
+            rows = []
+            for r in rel.tuples:
+                if all(r[i] == v for i, v in selections):
+                    rows.append(tuple(r[i] for i in var_positions))
+        else:
+            rows = list(rel.tuples)
+        if distinct:
+            seen: set[Row] = set()
+            uniq: list[Row] = []
+            for r in rows:
+                if r not in seen:
+                    seen.add(r)
+                    uniq.append(r)
+            rows = uniq
+        out[atom.alias] = rows
+    return out
+
+
+def full_reduce(tree: JoinTree, instances: Mapping[str, list[Row]]) -> Instances:
+    """Remove all dangling tuples (two semi-join sweeps, O(|D|) passes).
+
+    Returns fresh per-alias row lists; the input mapping is not mutated.
+    """
+    state: Instances = {alias: list(rows) for alias, rows in instances.items()}
+
+    # Bottom-up: parent ⋉ child for every edge, children first.
+    for node in tree.post_order():
+        for child in node.children:
+            p_pos, c_pos = shared_positions(node.atom.variables, child.atom.variables)
+            state[node.alias] = semijoin(
+                state[node.alias], p_pos, state[child.alias], c_pos
+            )
+
+    # Top-down: child ⋉ parent, parents first.
+    for node in tree.pre_order():
+        for child in node.children:
+            p_pos, c_pos = shared_positions(node.atom.variables, child.atom.variables)
+            state[child.alias] = semijoin(
+                state[child.alias], c_pos, state[node.alias], p_pos
+            )
+    return state
+
+
+def _join_on(
+    left_rows: Sequence[Row],
+    left_vars: Sequence[str],
+    right_rows: Sequence[Row],
+    right_vars: Sequence[str],
+) -> tuple[list[Row], tuple[str, ...]]:
+    """Hash join; output schema = left vars ++ (right vars \\ left vars)."""
+    l_pos, r_pos = shared_positions(left_vars, right_vars)
+    extra_positions = [i for i, v in enumerate(right_vars) if v not in left_vars]
+    out_vars = tuple(left_vars) + tuple(right_vars[i] for i in extra_positions)
+    index = group_by(right_rows, r_pos)
+    out: list[Row] = []
+    for lrow in left_rows:
+        key = tuple(lrow[i] for i in l_pos)
+        for rrow in index.get(key, ()):
+            out.append(lrow + tuple(rrow[i] for i in extra_positions))
+    return out, out_vars
+
+
+def project_join(
+    tree: JoinTree, instances: Mapping[str, list[Row]]
+) -> tuple[list[Row], tuple[str, ...]]:
+    """Distinct projected output via the join tree with early projection.
+
+    At every node the intermediate result is projected onto
+    ``A^π_i ∪ anchor(R_i)`` and de-duplicated before flowing upward —
+    the multiway plan the paper contrasts with engines' binary plans.
+
+    Returns ``(rows, head_order)`` where ``head_order`` is the tree's
+    in-order projection layout (root's ``A^π``); callers reorder to the
+    query head as needed.
+    """
+
+    def walk(node: JoinTreeNode) -> tuple[list[Row], tuple[str, ...]]:
+        rows: list[Row] = list(instances[node.alias])
+        variables: tuple[str, ...] = node.atom.variables
+        for child in node.children:
+            child_rows, child_vars = walk(child)
+            rows, variables = _join_on(rows, variables, child_rows, child_vars)
+        keep = tuple(node.subtree_head_vars) + tuple(
+            v for v in node.anchor if v not in node.subtree_head_vars
+        )
+        pos = tuple(variables.index(v) for v in keep)
+        seen: set[Row] = set()
+        projected: list[Row] = []
+        for r in rows:
+            p = tuple(r[i] for i in pos)
+            if p not in seen:
+                seen.add(p)
+                projected.append(p)
+        return projected, keep
+
+    rows, variables = walk(tree.root)
+    head_order = tree.output_order
+    pos = tuple(variables.index(v) for v in head_order)
+    return [tuple(r[i] for i in pos) for r in rows], head_order
+
+
+def evaluate(
+    query: JoinProjectQuery,
+    db: Database,
+    *,
+    tree: JoinTree | None = None,
+    reduce_first: bool = True,
+) -> set[Row]:
+    """Distinct ``Q(D)`` as a set of tuples aligned with ``query.head``."""
+    if tree is None:
+        tree = build_join_tree(query)
+    instances = atom_instances(query, db)
+    if reduce_first:
+        instances = full_reduce(tree, instances)
+    rows, order = project_join(tree, instances)
+    reorder = tuple(order.index(v) for v in query.head)
+    return {tuple(r[i] for i in reorder) for r in rows}

@@ -1,0 +1,15 @@
+"""Benchmark harness: timed sweeps and paper-style reporting."""
+
+from .harness import Measurement, measure_phases, sweep, time_top_k
+from .reporting import format_kv, format_table, measurements_table, series
+
+__all__ = [
+    "Measurement",
+    "time_top_k",
+    "sweep",
+    "measure_phases",
+    "format_table",
+    "format_kv",
+    "measurements_table",
+    "series",
+]

@@ -1,0 +1,87 @@
+"""Paper-style table rendering for benchmark results.
+
+The benchmark modules print, for every reproduced exhibit, a table in
+the layout of the paper's figure or table: one row per ``k`` (or scale
+factor / space budget), one column per algorithm/engine.  The printed
+output is what EXPERIMENTS.md records as "measured".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from .harness import Measurement
+
+__all__ = ["format_table", "measurements_table", "format_kv", "series"]
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    note: str | None = None,
+) -> str:
+    """Render an aligned ASCII table with a title banner."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append(f"   ({note})")
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def measurements_table(
+    title: str,
+    measurements: Sequence[Measurement],
+    *,
+    row_key: str = "k",
+    note: str | None = None,
+) -> str:
+    """Pivot measurements into ``row_key`` rows x algorithm columns of
+    seconds (the layout of the paper's Figures 5-10)."""
+    algorithms = list(dict.fromkeys(m.algorithm for m in measurements))
+    ks = list(dict.fromkeys(m.k for m in measurements))
+    by_coord = {(m.algorithm, m.k): m for m in measurements}
+    headers = [row_key] + [f"{a} (s)" for a in algorithms]
+    rows = []
+    for k in ks:
+        row: list[Any] = ["ALL" if k is None else k]
+        for a in algorithms:
+            m = by_coord.get((a, k))
+            row.append("-" if m is None else m.seconds)
+        rows.append(row)
+    return format_table(title, headers, rows, note=note)
+
+
+def format_kv(title: str, items: Mapping[str, Any]) -> str:
+    """Simple two-column key/value table (dataset stats, etc.)."""
+    return format_table(title, ["metric", "value"], list(items.items()))
+
+
+def series(measurements: Sequence[Measurement]) -> dict[str, list[tuple[Any, float]]]:
+    """``algorithm -> [(k, seconds), ...]`` for programmatic shape checks."""
+    out: dict[str, list[tuple[Any, float]]] = {}
+    for m in measurements:
+        out.setdefault(m.algorithm, []).append((m.k, m.seconds))
+    return out

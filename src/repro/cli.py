@@ -1,0 +1,167 @@
+"""Command-line interface: ranked enumeration over CSV data.
+
+Usage (also via ``python -m repro``)::
+
+    repro "Q(a1, a2) :- E(a1, p), E(a2, p)" --data ./csvdir --k 10
+    repro "Q(x, y) :- E(x, p), E(y, p)" --data ./csvdir \\
+          --rank lex --desc x --explain
+
+* ``--data DIR`` loads every ``*.csv`` in the directory as one relation
+  each (header row = column names);
+* the query is the library's Datalog-style syntax (self-joins, numeric
+  or quoted-string selections, ``;``-separated unions);
+* ``--rank sum|lex|min|max|avg|product`` with optional ``--weights
+  table.csv`` (two columns: value, weight) and ``--desc`` attributes;
+* ``--explain`` prints the chosen algorithm, the query class and the
+  paper's delay guarantee instead of running the query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+import time
+from typing import Sequence
+
+from .core.planner import METHODS, create_enumerator
+from .core.ranking import (
+    AvgRanking,
+    LexRanking,
+    MaxRanking,
+    MinRanking,
+    ProductRanking,
+    RankingFunction,
+    SumRanking,
+    TableWeight,
+    WeightFunction,
+)
+from .data.loader import load_database_dir, parse_value
+from .errors import ReproError
+from .query.parser import parse_query
+from .query.properties import classify_query, delay_guarantee
+
+__all__ = ["main", "build_parser"]
+
+_RANKINGS = {
+    "sum": SumRanking,
+    "avg": AvgRanking,
+    "min": MinRanking,
+    "max": MaxRanking,
+    "product": ProductRanking,
+    "lex": LexRanking,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser (exposed for docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ranked enumeration of join-project queries over CSV data "
+        "(Deep, Hu & Koutris, VLDB 2022).",
+    )
+    parser.add_argument("query", help="Datalog-style query, e.g. 'Q(x,y) :- E(x,p), E(y,p)'")
+    parser.add_argument("--data", required=True, help="directory of <relation>.csv files")
+    parser.add_argument("--k", type=int, default=None, help="LIMIT k (default: all answers)")
+    parser.add_argument(
+        "--rank", choices=sorted(_RANKINGS), default="sum", help="ranking function"
+    )
+    parser.add_argument(
+        "--weights",
+        default=None,
+        help="CSV of value,weight pairs used as w(v) for every head attribute "
+        "(default: values are their own weights)",
+    )
+    parser.add_argument(
+        "--desc",
+        nargs="*",
+        default=None,
+        metavar="VAR",
+        help="descending attributes (LEX) / flag for descending order (aggregates: "
+        "pass with no VAR to flip the whole order)",
+    )
+    parser.add_argument(
+        "--method", choices=METHODS, default="auto", help="force a specific algorithm"
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=None, help="star-query tradeoff knob in [0,1]"
+    )
+    parser.add_argument("--explain", action="store_true", help="print the plan and exit")
+    parser.add_argument(
+        "--stats", action="store_true", help="print timing and data-structure stats"
+    )
+    parser.add_argument(
+        "--no-header", action="store_true", help="omit the header row of the output"
+    )
+    return parser
+
+
+def _load_weight_table(path: str) -> WeightFunction:
+    table = {}
+    with open(path, newline="") as fh:
+        for lineno, row in enumerate(csv.reader(fh), start=1):
+            if not row:
+                continue
+            if len(row) != 2:
+                raise ReproError(f"{path}:{lineno}: expected 'value,weight' rows")
+            table[parse_value(row[0])] = float(row[1])
+    return TableWeight({}, default_table=table)
+
+
+def _build_ranking(args: argparse.Namespace) -> RankingFunction:
+    weight = _load_weight_table(args.weights) if args.weights else None
+    descending = args.desc  # None = flag absent; [] = bare flag; [vars] = per-attr
+    if args.rank == "lex":
+        return LexRanking(weight=weight, descending=tuple(descending or ()))
+    cls = _RANKINGS[args.rank]
+    kwargs = {"descending": descending is not None}
+    if weight is not None:
+        return cls(weight, **kwargs)
+    return cls(**kwargs)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        query = parse_query(args.query)
+        db = load_database_dir(args.data)
+        ranking = _build_ranking(args)
+
+        if args.explain:
+            enum = create_enumerator(
+                query, db, ranking, method=args.method, epsilon=args.epsilon
+            )
+            print(f"query class : {classify_query(query)}")
+            print(f"algorithm   : {type(enum).__name__}")
+            print(f"ranking     : {ranking.describe()}")
+            print(f"guarantee   : {delay_guarantee(query)}")
+            print(f"|D|         : {db.size}")
+            return 0
+
+        started = time.perf_counter()
+        enum = create_enumerator(
+            query, db, ranking, method=args.method, epsilon=args.epsilon
+        )
+        answers = enum.all() if args.k is None else enum.top_k(args.k)
+        elapsed = time.perf_counter() - started
+
+        writer = csv.writer(sys.stdout)
+        if not args.no_header:
+            writer.writerow(list(query.head) + ["score"])
+        for answer in answers:
+            writer.writerow(list(answer.values) + [answer.score])
+
+        if args.stats:
+            stats = getattr(enum, "stats", None)
+            print(f"# {len(answers)} answers in {elapsed:.4f}s", file=sys.stderr)
+            if stats is not None:
+                print(f"# stats: {stats.snapshot()}", file=sys.stderr)
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,66 @@
+"""The paper's contribution: ranked enumeration with projections.
+
+Algorithms 1-5 plus the cyclic/union extensions, the ranking-function
+algebra, and the planner that dispatches between them.
+"""
+
+from .acyclic import AcyclicRankedEnumerator
+from .answers import EnumerationStats, RankedAnswer
+from .base import RankedEnumeratorBase
+from .cell import Cell, UNSET
+from .cyclic import CyclicRankedEnumerator
+from .heap import HeapStats, RankHeap
+from .lexicographic import LexBacktrackEnumerator
+from .minweight import MinWeightProjectionEnumerator
+from .planner import METHODS, create_enumerator, enumerate_ranked, is_star_query
+from .ranking import (
+    AvgRanking,
+    CallableWeight,
+    CompositeRanking,
+    Desc,
+    IdentityWeight,
+    LexRanking,
+    MaxRanking,
+    MinRanking,
+    ProductRanking,
+    RankingFunction,
+    SumRanking,
+    TableWeight,
+    WeightFunction,
+)
+from .star import StarTradeoffEnumerator, star_query_shape
+from .ucq import UnionRankedEnumerator
+
+__all__ = [
+    "AcyclicRankedEnumerator",
+    "LexBacktrackEnumerator",
+    "MinWeightProjectionEnumerator",
+    "StarTradeoffEnumerator",
+    "CyclicRankedEnumerator",
+    "UnionRankedEnumerator",
+    "RankedEnumeratorBase",
+    "RankedAnswer",
+    "EnumerationStats",
+    "Cell",
+    "UNSET",
+    "RankHeap",
+    "HeapStats",
+    "create_enumerator",
+    "enumerate_ranked",
+    "is_star_query",
+    "METHODS",
+    "star_query_shape",
+    "RankingFunction",
+    "SumRanking",
+    "AvgRanking",
+    "MinRanking",
+    "MaxRanking",
+    "ProductRanking",
+    "LexRanking",
+    "CompositeRanking",
+    "Desc",
+    "WeightFunction",
+    "IdentityWeight",
+    "TableWeight",
+    "CallableWeight",
+]

@@ -1,0 +1,422 @@
+"""The paper's main result: ranked enumeration for acyclic join-project
+queries (Theorem 1, Algorithms 1 and 2 — ``LinDelay``).
+
+Guarantees: after ``O(|D|)`` preprocessing, results of any acyclic
+join-project query are enumerated in rank order, without duplicates,
+with worst-case delay ``O(|D| log |D|)`` per answer — and ``O(log |D|)``
+for full / free-connex queries (Appendix E), ``O(Δ log |D|)`` under
+degree bounds (Appendix D).
+
+How it works
+------------
+Every join-tree node ``i`` incrementally materialises the *distinct*
+ranked partial outputs of its subtree over ``A^π_i``, grouped by anchor
+value.  The state per node is a family of priority queues
+``PQ_i[u]`` (``u`` an anchor value) holding :class:`~repro.core.cell.Cell`
+objects; the queue comparator is ``(rank key, partial output)``.
+
+* **Preprocessing (Algorithm 1)**: full-reducer pass, then bottom-up cell
+  construction — a leaf cell per tuple; an internal cell per tuple
+  pointing at the current top of each child queue it joins with.
+* **Enumeration (Algorithm 2)**: pop the root queue; emit if the output
+  differs from the previous one; then ``Topdown`` regenerates
+  candidates: it pops every cell of the group that produces the same
+  partial output (on-the-fly deduplication), advances each child pointer
+  through the child's ``next`` chain (computing it recursively on first
+  demand, reusing it in O(1) afterwards) and inserts the successor
+  cells.  The ``next`` chain per node/anchor group memoises the sequence
+  of distinct ranked partial outputs so sibling parents never repeat the
+  work — this is the paper's key to the ``O(|D| log |D|)`` delay.
+
+Engineering notes (see DESIGN.md §6):
+
+* ``prune=True`` drops maximal subtrees without projection variables
+  after the reducer pass (they are pure filters — Lemma 1's opening
+  assumption).
+* ``dedup_inserts=True`` suppresses re-insertion of a cell combination
+  reachable through several predecessors (Lawler lattice duplication);
+  a per-queue seen-set keyed on ``(tuple, child cell identities)``.
+  Benchmarked as an ablation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..algorithms.yannakakis import atom_instances, full_reduce
+from ..data.database import Database
+from ..errors import QueryError
+from ..query.jointree import JoinTree, JoinTreeNode, build_join_tree
+from ..query.query import JoinProjectQuery
+from .answers import EnumerationStats, RankedAnswer
+from .base import RankedEnumeratorBase
+from .cell import Cell, UNSET
+from .heap import HeapStats, RankHeap
+from .ranking import BoundRanking, RankingFunction, SumRanking
+
+__all__ = ["AcyclicRankedEnumerator"]
+
+Row = tuple
+
+
+class _RTNode:
+    """Runtime join-tree node: positions precomputed, queues attached."""
+
+    __slots__ = (
+        "alias",
+        "variables",
+        "children",
+        "anchor_positions",
+        "child_key_positions",
+        "own_pairs",
+        "own_positions",
+        "out_vars",
+        "out_plan",
+        "pqs",
+        "seen",
+        "is_root",
+    )
+
+    def __init__(
+        self,
+        tree_node: JoinTreeNode,
+        children: list["_RTNode"],
+        head_position: Mapping[str, int],
+    ):
+        self.alias = tree_node.alias
+        self.variables = tree_node.atom.variables
+        self.children = children
+        self.anchor_positions = tuple(
+            self.variables.index(v) for v in tree_node.anchor
+        )
+        # For each child: positions *in this node's tuple* of the child's
+        # anchor variables (the key into the child's queue family).
+        self.child_key_positions = tuple(
+            tuple(self.variables.index(v) for v in c_node.anchor)
+            for c_node in tree_node.children
+        )
+        # Owned head variables, kept sorted by their global head position
+        # so that every partial output is a subsequence of the head order
+        # and tie-breaking matches ORDER BY semantics exactly.
+        own = sorted(tree_node.own_head_vars, key=lambda v: head_position[v])
+        self.own_pairs = tuple((v, self.variables.index(v)) for v in own)
+        self.own_positions = tuple(p for _, p in self.own_pairs)
+        # Merge plan: the subtree's output variables in head order, each
+        # mapped to (source part, offset) where part 0 is the node's own
+        # values and part i+1 is child i's partial output.
+        merged: list[tuple[str, int, int]] = [
+            (v, 0, i) for i, v in enumerate(own)
+        ]
+        for c_idx, child in enumerate(children):
+            merged.extend(
+                (v, c_idx + 1, j) for j, v in enumerate(child.out_vars)
+            )
+        merged.sort(key=lambda item: head_position[item[0]])
+        self.out_vars = tuple(v for v, _, _ in merged)
+        self.out_plan = tuple((src, off) for _, src, off in merged)
+        self.pqs: dict[tuple, RankHeap[Cell]] = {}
+        self.seen: dict[tuple, set] = {}
+        self.is_root = tree_node.is_root
+
+    def anchor_of(self, row: Row) -> tuple:
+        return tuple(row[i] for i in self.anchor_positions)
+
+
+class AcyclicRankedEnumerator(RankedEnumeratorBase):
+    """Ranked enumeration for acyclic join-project queries (Theorem 1).
+
+    Parameters
+    ----------
+    query:
+        An acyclic :class:`JoinProjectQuery`.
+    db:
+        The database instance.
+    ranking:
+        A :class:`RankingFunction`; defaults to ascending ``SUM`` with
+        identity weights (numeric head values).
+    join_tree:
+        Optional pre-built join tree (must belong to ``query``).
+    root:
+        Optional atom alias to root the tree at (the paper shows the
+        choice does not matter asymptotically; benchmarks sweep it).
+    prune:
+        Drop output-free subtrees after the reducer pass (default on).
+    dedup_inserts:
+        Suppress duplicate successor insertions (default on).
+
+    Usage
+    -----
+    >>> from repro.data import Database
+    >>> from repro.query import parse_query
+    >>> db = Database()
+    >>> _ = db.add_relation("R", ("a", "b"), [(1, 10), (2, 10), (1, 20)])
+    >>> q = parse_query("Q(a1, a2) :- R(a1, p), R(a2, p)")
+    >>> enum = AcyclicRankedEnumerator(q, db)
+    >>> [a.values for a in enum.top_k(3)]
+    [(1, 1), (1, 2), (2, 1)]
+
+    The object is one-shot per enumeration: iterating consumes the
+    queues.  Call :meth:`fresh` (cheap re-preprocess) to enumerate again.
+    """
+
+    def __init__(
+        self,
+        query: JoinProjectQuery,
+        db: Database,
+        ranking: RankingFunction | None = None,
+        *,
+        join_tree: JoinTree | None = None,
+        root: str | None = None,
+        prune: bool = True,
+        dedup_inserts: bool = True,
+        instances: Mapping[str, list[Row]] | None = None,
+        already_reduced: bool = False,
+    ):
+        self.query = query
+        self.db = db
+        self.ranking = ranking or SumRanking()
+        self._prune = prune
+        self._dedup_inserts = dedup_inserts
+        self._given_instances = instances
+        self._already_reduced = already_reduced
+
+        if join_tree is None:
+            join_tree = build_join_tree(query, root=root)
+        elif root is not None and join_tree.root.alias != root:
+            join_tree = join_tree.rerooted(root)
+        if join_tree.query.head != query.head:
+            raise QueryError("join tree belongs to a different query head")
+        self.join_tree = join_tree
+
+        positions = {v: i for i, v in enumerate(query.head)}
+        self.bound: BoundRanking = self.ranking.bind(positions)
+
+        self.heap_stats = HeapStats()
+        self.stats = EnumerationStats(self.heap_stats)
+        self._root_rt: _RTNode | None = None
+        self._head_reorder: tuple[int, ...] = ()
+        self._preprocessed = False
+        self._exhausted = False
+
+    # ------------------------------------------------------------------ #
+    # preprocessing (Algorithm 1)
+    # ------------------------------------------------------------------ #
+    def preprocess(self) -> "AcyclicRankedEnumerator":
+        """Run the full reducer and build all per-node priority queues."""
+        if self._preprocessed:
+            return self
+        started = time.perf_counter()
+
+        if self._given_instances is not None:
+            instances = {a: list(r) for a, r in self._given_instances.items()}
+        else:
+            instances = atom_instances(self.query, self.db)
+        if not self._already_reduced:
+            instances = full_reduce(self.join_tree, instances)
+
+        tree = self.join_tree
+        if self._prune:
+            tree, _dropped = tree.pruned()
+
+        head_position = {v: i for i, v in enumerate(self.query.head)}
+        rt_by_alias: dict[str, _RTNode] = {}
+        for node in tree.post_order():
+            children_rt = [rt_by_alias[c.alias] for c in node.children]
+            rt = _RTNode(node, children_rt, head_position)
+            rt_by_alias[node.alias] = rt
+            self._build_node_queues(rt, instances[node.alias])
+        self._root_rt = rt_by_alias[tree.root.alias]
+        # Partial outputs are kept in head order throughout, so the root
+        # output aligns with the query head directly.
+        if self._root_rt.out_vars != self.query.head:
+            raise QueryError(
+                f"internal error: root output {self._root_rt.out_vars} does not "
+                f"match head {self.query.head}"
+            )
+        self._head_reorder = tuple(range(len(self.query.head)))
+
+        self._preprocessed = True
+        self.stats.preprocess_seconds = time.perf_counter() - started
+        return self
+
+    def _build_node_queues(self, rt: _RTNode, rows: Sequence[Row]) -> None:
+        bound = self.bound
+        make_key = bound.key
+        combine = bound.combine
+        for row in rows:
+            own_key = make_key([(v, row[p]) for v, p in rt.own_pairs])
+            own_out = tuple(row[p] for p in rt.own_positions)
+            if rt.children:
+                child_cells = []
+                dead = False
+                for child_rt, key_pos in zip(rt.children, rt.child_key_positions):
+                    ck = tuple(row[i] for i in key_pos)
+                    pq = child_rt.pqs.get(ck)
+                    if pq is None or not pq:
+                        # Can only happen when the caller passed unreduced
+                        # instances with already_reduced=True; treat the
+                        # tuple as dangling and skip it.
+                        dead = True
+                        break
+                    child_cells.append(pq.top())
+                if dead:
+                    continue
+                children = tuple(child_cells)
+                key = combine([own_key] + [c.key for c in children])
+                out = self._layout(rt, own_out, children)
+            else:
+                children = ()
+                key = own_key
+                out = own_out
+            cell = Cell(row, children, key, out, own_key, own_out)
+            self.stats.cells_created += 1
+            # Initial cells are unique combinations (rows are distinct and
+            # all point at the current child tops), so duplicate tracking
+            # is skipped here; successors can never collide with them
+            # because advancing a pointer always changes it.
+            self._push(rt, cell, track=False)
+
+    def _layout(self, rt: _RTNode, own_out: tuple, children: tuple[Cell, ...]) -> tuple:
+        """Partial output in global head order (see ``_RTNode.out_plan``)."""
+        if not children:
+            return own_out
+        parts = (own_out,) + tuple(c.out for c in children)
+        return tuple(parts[src][off] for src, off in rt.out_plan)
+
+    def _push(self, rt: _RTNode, cell: Cell, *, track: bool = True) -> bool:
+        row = cell.row
+        u = tuple(row[i] for i in rt.anchor_positions)
+        if track and self._dedup_inserts:
+            seen = rt.seen.get(u)
+            if seen is None:
+                seen = set()
+                rt.seen[u] = seen
+            ident = cell.identity()
+            if ident in seen:
+                return False
+            seen.add(ident)
+        pq = rt.pqs.get(u)
+        if pq is None:
+            pq = RankHeap(self.heap_stats)
+            rt.pqs[u] = pq
+        pq.push((cell.key, cell.out), cell)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # enumeration (Algorithm 2)
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[RankedAnswer]:
+        """Enumerate ``Q(D)`` in rank order without duplicates.
+
+        Strictly monotone rankings (SUM, LEX, composites on them) stream
+        straight off the root queue: every group of cells with the same
+        partial output is popped at once and can never reappear.  Weakly
+        monotone rankings (MIN/MAX/PRODUCT) buffer one *key* group at a
+        time: within an equal-key run, successor cells can arrive out of
+        output order (and re-produce an output seen earlier in the run),
+        so the run is collected fully, de-duplicated and emitted sorted.
+        """
+        self.preprocess()
+        if self._exhausted:
+            raise QueryError(
+                "enumerator already consumed; call fresh() to enumerate again"
+            )
+        self._exhausted = True
+        root = self._root_rt
+        assert root is not None
+        pq = root.pqs.get(())
+        if self.bound.strictly_monotone:
+            yield from self._iter_streaming(pq, root)
+        else:
+            yield from self._iter_key_groups(pq, root)
+
+    def _iter_streaming(self, pq, root: _RTNode) -> Iterator[RankedAnswer]:
+        final_score = self.bound.final_score
+        ops_mark = self.heap_stats.operations
+        last_out = None
+        while pq:
+            top = pq.top()
+            if top.out != last_out:  # Algorithm 2 line 5 (defensive; see note)
+                last_out = top.out
+                self.stats.answers += 1
+                ops_now = self.heap_stats.operations
+                self.stats.pq_ops_per_answer.append(ops_now - ops_mark)
+                ops_mark = ops_now
+                yield RankedAnswer(top.out, final_score(top.key), key=top.key)
+            self._topdown(top, root)
+
+    def _iter_key_groups(self, pq, root: _RTNode) -> Iterator[RankedAnswer]:
+        final_score = self.bound.final_score
+        ops_mark = self.heap_stats.operations
+        while pq:
+            key = pq.top().key
+            outs: set[tuple] = set()
+            # Drain the whole equal-key run; weak monotonicity guarantees
+            # every ancestor of a key-k cell also has key <= k, so all
+            # key-k cells surface before the run ends.
+            while pq and pq.top().key == key:
+                top = pq.top()
+                outs.add(top.out)
+                self._topdown(top, root)
+            ops_now = self.heap_stats.operations
+            group_ops = ops_now - ops_mark
+            ops_mark = ops_now
+            score = final_score(key)
+            for i, out in enumerate(sorted(outs)):
+                self.stats.answers += 1
+                self.stats.pq_ops_per_answer.append(group_ops if i == 0 else 0)
+                yield RankedAnswer(out, score, key=key)
+
+    def _topdown(self, cell: Cell, rt: _RTNode) -> Cell | None:
+        """Algorithm 2's ``Topdown``: advance a node/anchor group past the
+        partial output of ``cell``, memoising the result on the chain."""
+        nxt = cell.next
+        if nxt is not UNSET:
+            return nxt  # O(1) reuse of previously computed successor
+        pq = rt.pqs[tuple(cell.row[i] for i in rt.anchor_positions)]
+        combine = self.bound.combine
+        children_rts = rt.children
+        while True:
+            temp = pq.pop()
+            # Successors: advance each child pointer of the popped cell.
+            for i, child_rt in enumerate(children_rts):
+                advanced = self._topdown(temp.children[i], child_rt)
+                if advanced is not None:
+                    new_children = (
+                        temp.children[:i] + (advanced,) + temp.children[i + 1 :]
+                    )
+                    key = combine([temp.own_key] + [c.key for c in new_children])
+                    out = self._layout(rt, temp.own_out, new_children)
+                    successor = Cell(
+                        temp.row, new_children, key, out, temp.own_key, temp.own_out
+                    )
+                    if self._push(rt, successor):
+                        self.stats.cells_created += 1
+            if not pq:
+                cell.next = None
+                break
+            top = pq.top()
+            if not rt.is_root:
+                cell.next = top
+            if not temp.same_output(top):
+                break
+        if rt.is_root:
+            return None  # the root chain is never consulted
+        return cell.next
+
+    # ------------------------------------------------------------------ #
+    # conveniences
+    # ------------------------------------------------------------------ #
+    def fresh(self) -> "AcyclicRankedEnumerator":
+        """A new enumerator with identical configuration (re-preprocesses)."""
+        return AcyclicRankedEnumerator(
+            self.query,
+            self.db,
+            self.ranking,
+            join_tree=self.join_tree,
+            prune=self._prune,
+            dedup_inserts=self._dedup_inserts,
+            instances=self._given_instances,
+            already_reduced=self._already_reduced,
+        )

@@ -1,0 +1,59 @@
+"""Shared enumerator interface.
+
+Every enumerator in :mod:`repro.core` — the general acyclic algorithm,
+the lexicographic backtracker, the star tradeoff structure, the
+GHD-based cyclic wrapper, and the union merger — follows the paper's
+two-phase contract:
+
+* :meth:`preprocess` builds the data structure (idempotent);
+* iteration yields :class:`~repro.core.answers.RankedAnswer` objects in
+  rank order without duplicates, consuming internal state (one-shot).
+
+This mixin provides the derived conveniences so all enumerators expose
+an identical surface.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .answers import RankedAnswer
+
+__all__ = ["RankedEnumeratorBase"]
+
+
+class RankedEnumeratorBase:
+    """Mixin with the derived enumeration helpers.
+
+    Subclasses implement ``__iter__`` (and usually ``preprocess``).
+    """
+
+    def preprocess(self):
+        """Build the enumeration data structure (default: nothing)."""
+        return self
+
+    def __iter__(self) -> Iterator[RankedAnswer]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def top_k(self, k: int) -> list[RankedAnswer]:
+        """The first ``k`` ranked answers (fewer if the output is smaller).
+
+        This is the paper's ``LIMIT k`` access pattern: cost scales with
+        ``k`` times the delay, not with the full output.
+        """
+        out: list[RankedAnswer] = []
+        if k <= 0:
+            return out
+        for answer in self:
+            out.append(answer)
+            if len(out) >= k:
+                break
+        return out
+
+    def all(self) -> list[RankedAnswer]:
+        """The complete ranked output (no LIMIT clause)."""
+        return list(self)
+
+    def fresh(self):  # pragma: no cover - overridden where reuse matters
+        """A reset clone able to enumerate again; override per subclass."""
+        raise NotImplementedError(f"{type(self).__name__} does not support fresh()")

@@ -1,0 +1,305 @@
+"""Lexicographic enumeration by semi-join backtracking (paper §3.2,
+Algorithm 3 — ``EnumAcyclicLexi``).
+
+For ``LEXICOGRAPHIC`` ranking the general priority-queue machinery is
+overkill: the global order implies a local order per attribute, so the
+algorithm simply walks the projection attributes in comparison order,
+fixing one value at a time:
+
+1. sort the candidate values of the current attribute (ascending or
+   descending per attribute — the ``ORDER BY A1 ASC, A2 DESC`` case the
+   paper highlights);
+2. for each value, filter the relations containing the attribute and run
+   a full-reducer pass (the paper's "two-phase semi-joins"), which both
+   prunes dead branches and exposes the candidate values of the next
+   attribute;
+3. recurse; every full assignment is one distinct output.
+
+Guarantees (Lemma 4): ``O(|D|)`` delay after ``O(|D| log |D|)``
+preprocessing with ``O(|D|)`` space — and no priority queues, which is
+where the paper's measured 2-3x speed-up over the SUM machinery comes
+from (Figure 6).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..algorithms.yannakakis import atom_instances, full_reduce
+from ..data.database import Database
+from ..errors import QueryError, RankingError
+from ..query.jointree import JoinTree, build_join_tree
+from ..query.query import JoinProjectQuery
+from .answers import EnumerationStats, RankedAnswer
+from .base import RankedEnumeratorBase
+from .ranking import Desc, WeightFunction
+
+__all__ = ["LexBacktrackEnumerator"]
+
+Row = tuple
+
+
+class LexBacktrackEnumerator(RankedEnumeratorBase):
+    """Algorithm 3: lexicographic ranked enumeration without priority queues.
+
+    Parameters
+    ----------
+    query:
+        An acyclic join-project query.
+    db:
+        The database instance.
+    order:
+        Attribute comparison order; must be a permutation of the head.
+        Defaults to the head order itself.
+    descending:
+        Head variables to enumerate in descending order.
+    weight:
+        Optional per-value weight function: order each attribute by
+        ``w(value)`` (refined by the raw value on ties) instead of the
+        raw value — the paper's ``ORDER BY A1.weight, A2.weight`` form.
+    join_tree:
+        Optional pre-built join tree.
+
+    The emitted :attr:`RankedAnswer.score` (and :attr:`~RankedAnswer.key`)
+    is the comparison tuple: head values arranged in ``order``, with
+    descending attributes order-reversed inside the key so keys from
+    different enumerators merge correctly.
+
+    Examples
+    --------
+    >>> from repro.data import Database
+    >>> from repro.query import parse_query
+    >>> db = Database()
+    >>> _ = db.add_relation("R", ("a", "b"), [(2, 10), (1, 10), (1, 20)])
+    >>> q = parse_query("Q(a1, a2) :- R(a1, p), R(a2, p)")
+    >>> [a.values for a in LexBacktrackEnumerator(q, db)]
+    [(1, 1), (1, 2), (2, 1), (2, 2)]
+    """
+
+    def __init__(
+        self,
+        query: JoinProjectQuery,
+        db: Database,
+        *,
+        order: Sequence[str] | None = None,
+        descending: Iterable[str] = (),
+        weight: WeightFunction | None = None,
+        join_tree: JoinTree | None = None,
+        instances: Mapping[str, list[Row]] | None = None,
+    ):
+        self.query = query
+        self.db = db
+        self._order = tuple(order) if order is not None else query.head
+        if sorted(self._order) != sorted(query.head):
+            raise RankingError(
+                f"lexicographic order {self._order} must be a permutation of the "
+                f"head {query.head}"
+            )
+        self._descending = frozenset(descending)
+        self._weight = weight
+        unknown = self._descending - set(query.head)
+        if unknown:
+            raise RankingError(f"descending variables {sorted(unknown)} not in the head")
+        self.join_tree = join_tree or build_join_tree(query)
+        self._given_instances = instances
+        self.stats = EnumerationStats()
+        self._instances: dict[str, list[Row]] | None = None
+        self._exhausted = False
+        # Atoms (alias, position) containing each order variable.
+        self._holders: dict[str, list[tuple[str, int]]] = {}
+        for var in self._order:
+            holders = [
+                (atom.alias, atom.variables.index(var))
+                for atom in query.atoms
+                if var in atom.var_set
+            ]
+            if not holders:  # pragma: no cover - head validation precludes this
+                raise QueryError(f"head variable {var!r} appears in no atom")
+            self._holders[var] = holders
+
+    # ------------------------------------------------------------------ #
+    # phases
+    # ------------------------------------------------------------------ #
+    def preprocess(self) -> "LexBacktrackEnumerator":
+        """Full-reducer pass + hash indexes (the paper's "create hash
+        indexes for the base relations in sorted order").
+
+        Two index families are built over the reduced instance:
+
+        * value indexes for the first order variable, so fixing
+          ``A_1 = a`` costs its bucket size instead of a relation scan;
+        * per join-tree-edge indexes keyed on the shared variables, so
+          the first semi-join wave after the fix only touches the
+          joining neighbourhood (:meth:`_index_reduce`) rather than all
+          of ``|D|`` — this is what makes the backtracker outpace the
+          priority-queue machinery in practice (Figure 6).
+        """
+        if self._instances is not None:
+            return self
+        started = time.perf_counter()
+        if self._given_instances is not None:
+            instances = {a: list(r) for a, r in self._given_instances.items()}
+        else:
+            instances = atom_instances(self.query, self.db)
+        self._instances = full_reduce(self.join_tree, instances)
+
+        # Value indexes for the first order variable's holders.
+        self._value_index: dict[str, dict] = {}
+        first_var = self._order[0]
+        for alias, pos in self._holders[first_var]:
+            index: dict = {}
+            for row in self._instances[alias]:
+                index.setdefault(row[pos], []).append(row)
+            self._value_index[alias] = index
+
+        # Edge indexes over the reduced instance, both directions.
+        self._edges: list[tuple[str, str, tuple[int, ...], tuple[int, ...]]] = []
+        self._edge_index: dict[tuple[str, tuple[int, ...]], dict] = {}
+        for node in self.join_tree.nodes:
+            if node.parent is None:
+                continue
+            a, b = node.alias, node.parent.alias
+            a_vars = node.atom.variables
+            b_vars = node.parent.atom.variables
+            shared = [v for v in a_vars if v in b_vars]
+            a_pos = tuple(a_vars.index(v) for v in shared)
+            b_pos = tuple(b_vars.index(v) for v in shared)
+            self._edges.append((a, b, a_pos, b_pos))
+            for alias, pos in ((a, a_pos), (b, b_pos)):
+                if (alias, pos) in self._edge_index:
+                    continue
+                index = {}
+                for row in self._instances[alias]:
+                    index.setdefault(tuple(row[i] for i in pos), []).append(row)
+                self._edge_index[(alias, pos)] = index
+        self.stats.preprocess_seconds = time.perf_counter() - started
+        return self
+
+    def _index_reduce(self, seeds: dict[str, list[Row]]) -> dict[str, list[Row]]:
+        """Propagate a depth-0 filter outward through the edge indexes.
+
+        ``seeds`` holds filtered row lists for the atoms containing the
+        fixed variable; every other atom is narrowed to the rows joining
+        the wavefront, by index lookup, in BFS order over the join tree.
+        The result over-approximates the reduced instance (one outward
+        wave only) but is small, so the exact :func:`full_reduce` that
+        follows is cheap.
+        """
+        adjacency: dict[str, list[tuple[str, tuple[int, ...], tuple[int, ...]]]] = {}
+        for a, b, a_pos, b_pos in self._edges:
+            adjacency.setdefault(a, []).append((b, a_pos, b_pos))
+            adjacency.setdefault(b, []).append((a, b_pos, a_pos))
+
+        state = dict(seeds)
+        frontier = list(seeds)
+        visited = set(seeds)
+        while frontier:
+            current = frontier.pop()
+            for neighbour, cur_pos, nb_pos in adjacency.get(current, ()):
+                if neighbour in visited:
+                    continue
+                visited.add(neighbour)
+                index = self._edge_index[(neighbour, nb_pos)]
+                keys = {tuple(r[i] for i in cur_pos) for r in state[current]}
+                rows: list[Row] = []
+                for key in keys:
+                    rows.extend(index.get(key, ()))
+                state[neighbour] = rows
+                frontier.append(neighbour)
+        # Atoms disconnected from every seed keep their full reduced rows.
+        for alias, rows in self._instances.items():  # type: ignore[union-attr]
+            state.setdefault(alias, rows)
+        return state
+
+    def __iter__(self) -> Iterator[RankedAnswer]:
+        self.preprocess()
+        if self._exhausted:
+            raise QueryError(
+                "enumerator already consumed; call fresh() to enumerate again"
+            )
+        self._exhausted = True
+        assert self._instances is not None
+        if any(not rows for rows in self._instances.values()):
+            return  # empty join
+        yield from self._enum(self._instances, 0, {})
+
+    def _enum(
+        self,
+        instances: dict[str, list[Row]],
+        depth: int,
+        fixed: dict[str, object],
+    ) -> Iterator[RankedAnswer]:
+        if depth == len(self._order):
+            values = tuple(fixed[v] for v in self.query.head)
+            score = tuple(fixed[v] for v in self._order)
+            key = tuple(
+                Desc(self._value_key(v, fixed[v]))
+                if v in self._descending
+                else self._value_key(v, fixed[v])
+                for v in self._order
+            )
+            self.stats.answers += 1
+            yield RankedAnswer(values, score, key=key)
+            return
+
+        var = self._order[depth]
+        holders = self._holders[var]
+        alias0, pos0 = holders[0]
+        candidates = sorted(
+            {row[pos0] for row in instances[alias0]},
+            key=lambda v: self._value_key(var, v),
+            reverse=var in self._descending,
+        )
+        for value in candidates:
+            alive = True
+            if depth == 0:
+                # Index path: bucket lookups + one outward wave keep the
+                # first (most expensive) level proportional to the value's
+                # join neighbourhood instead of |D|.
+                seeds: dict[str, list[Row]] = {}
+                for alias, pos in holders:
+                    rows = self._value_index[alias].get(value, [])
+                    rows = [row for row in rows if row[pos] == value]
+                    if not rows:
+                        alive = False
+                        break
+                    seeds[alias] = rows
+                if not alive:
+                    continue
+                filtered = self._index_reduce(seeds)
+            else:
+                filtered = dict(instances)
+                for alias, pos in holders:
+                    rows = [row for row in filtered[alias] if row[pos] == value]
+                    if not rows:
+                        alive = False
+                        break
+                    filtered[alias] = rows
+                if not alive:
+                    continue
+            reduced = full_reduce(self.join_tree, filtered)
+            self.stats.reducer_passes += 1
+            if any(not rows for rows in reduced.values()):
+                continue
+            yield from self._enum(reduced, depth + 1, {**fixed, var: value})
+
+    def _value_key(self, var: str, value):
+        """Per-attribute comparison key: ``(w(value), value)`` when a
+        weight function is configured, the raw value otherwise."""
+        if self._weight is not None:
+            return (self._weight(var, value), value)
+        return value
+
+    def fresh(self) -> "LexBacktrackEnumerator":
+        """A new enumerator with identical configuration."""
+        return LexBacktrackEnumerator(
+            self.query,
+            self.db,
+            order=self._order,
+            descending=self._descending,
+            weight=self._weight,
+            join_tree=self.join_tree,
+            instances=self._given_instances,
+        )
+

@@ -1,0 +1,146 @@
+"""Algorithm selection: one entry point for every query class.
+
+``create_enumerator`` inspects the query and dispatches:
+
+================  ====================================================
+query shape        algorithm
+================  ====================================================
+UCQ                :class:`~repro.core.ucq.UnionRankedEnumerator`
+cyclic CQ          :class:`~repro.core.cyclic.CyclicRankedEnumerator`
+star + ``epsilon`` :class:`~repro.core.star.StarTradeoffEnumerator`
+acyclic + LEX      :class:`~repro.core.lexicographic.LexBacktrackEnumerator`
+acyclic            :class:`~repro.core.acyclic.AcyclicRankedEnumerator`
+================  ====================================================
+
+``method`` overrides the dispatch (``"lindelay"``, ``"lex-backtrack"``,
+``"star"``, ``"ghd"``, ``"auto"``), and ``enumerate_ranked`` is the
+one-call convenience: the paper's ``SELECT DISTINCT .. ORDER BY ..
+LIMIT k``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..data.database import Database
+from ..errors import NotAStarQueryError, QueryError
+from ..query.hypergraph import Hypergraph
+from ..query.query import JoinProjectQuery, UnionQuery
+from .acyclic import AcyclicRankedEnumerator
+from .answers import RankedAnswer
+from .base import RankedEnumeratorBase
+from .cyclic import CyclicRankedEnumerator
+from .lexicographic import LexBacktrackEnumerator
+from .ranking import LexRanking, RankingFunction, SumRanking
+from .star import StarTradeoffEnumerator, star_query_shape
+from .ucq import UnionRankedEnumerator
+
+__all__ = ["create_enumerator", "enumerate_ranked", "is_star_query", "METHODS"]
+
+METHODS = ("auto", "lindelay", "lex-backtrack", "star", "ghd")
+
+
+def is_star_query(query: JoinProjectQuery) -> bool:
+    """True if ``query`` matches the paper's ``Q*_m`` star shape."""
+    try:
+        star_query_shape(query)
+        return True
+    except NotAStarQueryError:
+        return False
+
+
+def create_enumerator(
+    query: JoinProjectQuery | UnionQuery,
+    db: Database,
+    ranking: RankingFunction | None = None,
+    *,
+    method: str = "auto",
+    epsilon: float | None = None,
+    delta: int | None = None,
+    **kwargs: Any,
+) -> RankedEnumeratorBase:
+    """Build the appropriate ranked enumerator for a query.
+
+    Parameters
+    ----------
+    query:
+        A :class:`JoinProjectQuery` or :class:`UnionQuery`.
+    db:
+        The database instance.
+    ranking:
+        Ranking function; default ascending SUM with identity weights.
+    method:
+        One of :data:`METHODS`; ``"auto"`` picks per the table above.
+    epsilon / delta:
+        Star-tradeoff knobs; supplying either selects the star structure
+        for star-shaped queries (Theorem 2).
+    kwargs:
+        Forwarded to the selected enumerator (``root``, ``join_tree``,
+        ``dedup_inserts``, ``order``, ``descending``, ``ghd``, ...).
+    """
+    if method not in METHODS:
+        raise QueryError(f"unknown method {method!r}; choose one of {METHODS}")
+    ranking = ranking or SumRanking()
+
+    if isinstance(query, UnionQuery):
+        if method != "auto":
+            raise QueryError("union queries dispatch per-branch; use method='auto'")
+        return UnionRankedEnumerator(query, db, ranking, **kwargs)
+
+    acyclic = Hypergraph(query.edge_map()).is_acyclic()
+
+    if method == "ghd" or (method == "auto" and not acyclic):
+        return CyclicRankedEnumerator(query, db, ranking, **kwargs)
+    if not acyclic:
+        raise QueryError(f"method {method!r} requires an acyclic query")
+
+    if method == "star" or (method == "auto" and (epsilon is not None or delta is not None)):
+        return StarTradeoffEnumerator(
+            query, db, ranking, epsilon=epsilon, delta=delta, **kwargs
+        )
+
+    if method == "lex-backtrack" or (
+        method == "auto" and isinstance(ranking, LexRanking)
+    ):
+        order = kwargs.pop("order", None)
+        descending = kwargs.pop("descending", None)
+        weight = kwargs.pop("weight", None)
+        if isinstance(ranking, LexRanking):
+            order = order if order is not None else ranking.order
+            descending = descending if descending is not None else ranking.descending
+            weight = weight if weight is not None else ranking.weight
+        return LexBacktrackEnumerator(
+            query, db, order=order, descending=descending or (), weight=weight, **kwargs
+        )
+
+    return AcyclicRankedEnumerator(query, db, ranking, **kwargs)
+
+
+def enumerate_ranked(
+    query: JoinProjectQuery | UnionQuery,
+    db: Database,
+    ranking: RankingFunction | None = None,
+    *,
+    k: int | None = None,
+    method: str = "auto",
+    **kwargs: Any,
+) -> list[RankedAnswer]:
+    """One-call ranked enumeration: ``SELECT DISTINCT .. ORDER BY .. LIMIT k``.
+
+    Returns the first ``k`` answers (all of them when ``k is None``) in
+    rank order without duplicates.
+
+    Examples
+    --------
+    >>> from repro.data import Database
+    >>> from repro.query import parse_query
+    >>> db = Database()
+    >>> _ = db.add_relation("R", ("a", "b"), [(1, 10), (2, 10), (3, 99)])
+    >>> q = parse_query("Q(a1, a2) :- R(a1, p), R(a2, p)")
+    >>> [a.values for a in enumerate_ranked(q, db, k=3)]
+    [(1, 1), (1, 2), (2, 1)]
+    """
+    enum = create_enumerator(query, db, ranking, method=method, **kwargs)
+    if k is None:
+        return enum.all()
+    return enum.top_k(k)

@@ -1,0 +1,576 @@
+"""Ranking functions (paper §2.1).
+
+The paper focuses on two rankings over the projection attributes:
+
+* ``SUM`` — ``rank(t) = Σ_{A ∈ head} w(t[A])`` for a per-value weight
+  function ``w`` (paper Example 3);
+* ``LEXICOGRAPHIC`` — compare head attributes in a given order, each
+  ascending or descending.
+
+and notes that the machinery extends directly to other *decomposable*
+functions; we also ship ``MIN``, ``MAX``, ``AVG``, ``PRODUCT`` and a
+composite ``then_by`` combinator (used to repair the Algorithm 6 baseline,
+see :mod:`repro.algorithms.existing`).
+
+Design
+------
+A ranking function is a small spec object; the enumerators call
+:meth:`RankingFunction.bind` with the mapping ``variable -> global
+position`` to obtain a :class:`BoundRanking` that produces *keys*:
+
+* ``key(pairs)`` turns ``[(var, value), ...]`` (a node's owned head
+  variables) into a partial key;
+* ``combine(keys)`` merges the keys of a node and its children —
+  **monotone in every argument**, which is exactly the property the
+  correctness proof of Algorithm 2 needs (Lemma 3, cases 1–3);
+* keys are plain comparable Python values, so priority queues order
+  partial answers by comparing ``(key, partial output)`` tuples — the
+  paper's tie-break "by the lexicographic order of ``output(c)``".
+
+For ``LEXICOGRAPHIC`` the key is a tuple of ``(global position, value)``
+pairs kept sorted by position; merging two such keys is monotone for any
+assignment of positions, so the general algorithm supports arbitrary
+lexicographic orders without the paper's ``10^(m-i)`` weight transform
+(which assumes bounded domains).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..errors import RankingError
+
+__all__ = [
+    "WeightFunction",
+    "IdentityWeight",
+    "TableWeight",
+    "CallableWeight",
+    "RankingFunction",
+    "BoundRanking",
+    "SumRanking",
+    "AvgRanking",
+    "MinRanking",
+    "MaxRanking",
+    "ProductRanking",
+    "LexRanking",
+    "CompositeRanking",
+    "Desc",
+]
+
+Pair = tuple[str, Any]
+
+
+# --------------------------------------------------------------------- #
+# weight functions
+# --------------------------------------------------------------------- #
+class WeightFunction:
+    """Maps ``(attribute, value)`` to a real weight (paper's ``w``)."""
+
+    def __call__(self, attr: str, value: Any) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class IdentityWeight(WeightFunction):
+    """The value *is* its weight (requires numeric attribute values)."""
+
+    def __call__(self, attr: str, value: Any) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise RankingError(
+                f"IdentityWeight needs numeric values; got {value!r} for {attr!r}. "
+                "Use TableWeight or CallableWeight for non-numeric domains."
+            )
+        return value
+
+    def describe(self) -> str:
+        return "w(v) = v"
+
+
+class TableWeight(WeightFunction):
+    """Weights from per-attribute lookup tables.
+
+    Parameters
+    ----------
+    tables:
+        ``{attribute: {value: weight}}``.  Attributes absent from the
+        mapping fall back to ``default_table`` (shared across attributes,
+        e.g. one entity-weight table used by several self-join variables).
+    default:
+        Weight for values missing from their table (``None`` = raise).
+    """
+
+    def __init__(
+        self,
+        tables: Mapping[str, Mapping[Any, float]],
+        *,
+        default_table: Mapping[Any, float] | None = None,
+        default: float | None = None,
+    ):
+        self.tables = {a: dict(t) for a, t in tables.items()}
+        self.default_table = dict(default_table) if default_table is not None else None
+        self.default = default
+
+    def __call__(self, attr: str, value: Any) -> float:
+        table = self.tables.get(attr, self.default_table)
+        if table is None:
+            raise RankingError(f"no weight table for attribute {attr!r}")
+        w = table.get(value, self.default)
+        if w is None:
+            raise RankingError(f"no weight for value {value!r} of attribute {attr!r}")
+        return w
+
+    def describe(self) -> str:
+        return f"table weights over {sorted(self.tables)}"
+
+
+class CallableWeight(WeightFunction):
+    """Adapter for an arbitrary ``f(attr, value) -> float``."""
+
+    def __init__(self, fn: Callable[[str, Any], float], *, label: str = "callable"):
+        self.fn = fn
+        self.label = label
+
+    def __call__(self, attr: str, value: Any) -> float:
+        return self.fn(attr, value)
+
+    def describe(self) -> str:
+        return self.label
+
+
+# --------------------------------------------------------------------- #
+# descending-order value wrapper
+# --------------------------------------------------------------------- #
+class Desc:
+    """Total-order-reversing wrapper used inside LEX keys for DESC attributes."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "Desc") -> bool:
+        return other.value < self.value
+
+    def __le__(self, other: "Desc") -> bool:
+        return other.value <= self.value
+
+    def __gt__(self, other: "Desc") -> bool:
+        return other.value > self.value
+
+    def __ge__(self, other: "Desc") -> bool:
+        return other.value >= self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Desc) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Desc", self.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Desc({self.value!r})"
+
+
+# --------------------------------------------------------------------- #
+# ranking specs and bound rankings
+# --------------------------------------------------------------------- #
+class BoundRanking:
+    """A ranking bound to concrete head-variable positions.
+
+    Subclasses define the key algebra.  ``zero`` is the key of an empty
+    variable set (a node that owns no projection variables).
+
+    ``strictly_monotone`` declares that increasing a child's
+    ``(key, partial output)`` strictly increases the combined parent's
+    ``(key, partial output)``.  SUM and LEX have this property, which is
+    what makes Lawler-style successor generation emit ties in
+    deterministic output order and keep duplicates adjacent.  MIN/MAX
+    (and PRODUCT, whose zero weights can freeze the combined key) are
+    only *weakly* monotone: the combined key never decreases, but equal
+    keys can arrive out of output order — the enumerator then buffers
+    one key group at a time (see
+    :meth:`repro.core.acyclic.AcyclicRankedEnumerator.__iter__`).
+    """
+
+    zero: Any = 0.0
+    strictly_monotone: bool = True
+
+    def key(self, pairs: Sequence[Pair]) -> Any:
+        """Key of a set of ``(variable, value)`` pairs."""
+        raise NotImplementedError
+
+    def combine(self, keys: Sequence[Any]) -> Any:
+        """Merge node + children keys; monotone in every argument."""
+        raise NotImplementedError
+
+    def final_score(self, key: Any) -> Any:
+        """User-facing score derived from a full-output key."""
+        return key
+
+    def key_of_output(self, variables: Sequence[str], values: Sequence[Any]) -> Any:
+        """Key of a complete output tuple (used by sort-based baselines)."""
+        return self.key(list(zip(variables, values)))
+
+
+class RankingFunction:
+    """Base spec; :meth:`bind` produces the operational object."""
+
+    #: human-readable kind used in reports ("sum", "lexicographic", ...)
+    kind: str = "abstract"
+
+    def bind(self, positions: Mapping[str, int]) -> BoundRanking:
+        """Bind to ``variable -> global output position``.
+
+        The position map is only semantically relevant for
+        ``LEXICOGRAPHIC``; the aggregate rankings ignore it.
+        """
+        raise NotImplementedError
+
+    def then_by(self, secondary: "RankingFunction") -> "CompositeRanking":
+        """Order by ``self``, break ties by ``secondary``."""
+        return CompositeRanking(self, secondary)
+
+    def describe(self) -> str:
+        return self.kind
+
+
+class _AggregateBound(BoundRanking):
+    """Shared machinery for SUM/MIN/MAX/PRODUCT-style numeric keys."""
+
+    def __init__(self, weight: WeightFunction, sign: float):
+        self.weight = weight
+        self.sign = sign
+
+    def _w(self, attr: str, value: Any) -> float:
+        return self.sign * self.weight(attr, value)
+
+
+class _SumBound(_AggregateBound):
+    zero = 0.0
+
+    def key(self, pairs: Sequence[Pair]) -> float:
+        return sum(self._w(a, v) for a, v in pairs)
+
+    def combine(self, keys: Sequence[float]) -> float:
+        return sum(keys)
+
+    def final_score(self, key: float) -> float:
+        return self.sign * key
+
+
+class SumRanking(RankingFunction):
+    """``SUM`` ranking: ``rank(t) = Σ w(t[A])`` (ascending by default).
+
+    Parameters
+    ----------
+    weight:
+        Per-value weight function; defaults to :class:`IdentityWeight`.
+    descending:
+        Enumerate largest-sum first (the paper's DBLP queries use
+        ``ORDER BY w1 + w2`` with either direction; descending is
+        implemented by negating weights, which keeps combine monotone).
+    """
+
+    kind = "sum"
+
+    def __init__(self, weight: WeightFunction | None = None, *, descending: bool = False):
+        self.weight = weight or IdentityWeight()
+        self.descending = descending
+
+    def bind(self, positions: Mapping[str, int]) -> BoundRanking:
+        return _SumBound(self.weight, -1.0 if self.descending else 1.0)
+
+    def describe(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        return f"SUM[{self.weight.describe()}, {direction}]"
+
+
+class _AvgBound(_SumBound):
+    def __init__(self, weight: WeightFunction, sign: float, arity: int):
+        super().__init__(weight, sign)
+        self.arity = max(arity, 1)
+
+    def final_score(self, key: float) -> float:
+        return self.sign * key / self.arity
+
+
+class AvgRanking(SumRanking):
+    """``AVG`` over the head attributes.
+
+    Because the head size is fixed per query, AVG induces the same order
+    as SUM; only the reported score is divided by the head arity (one of
+    the paper's "straightforward extensions").
+    """
+
+    kind = "avg"
+
+    def bind(self, positions: Mapping[str, int]) -> BoundRanking:
+        return _AvgBound(self.weight, -1.0 if self.descending else 1.0, len(positions))
+
+
+class _MinBound(_AggregateBound):
+    zero = float("inf")
+    strictly_monotone = False
+
+    def key(self, pairs: Sequence[Pair]) -> float:
+        return min((self._w(a, v) for a, v in pairs), default=self.zero)
+
+    def combine(self, keys: Sequence[float]) -> float:
+        return min(keys) if keys else self.zero
+
+    def final_score(self, key: float) -> float:
+        return self.sign * key
+
+
+class MinRanking(RankingFunction):
+    """Rank by the minimum attribute weight (ascending)."""
+
+    kind = "min"
+
+    def __init__(self, weight: WeightFunction | None = None, *, descending: bool = False):
+        self.weight = weight or IdentityWeight()
+        self.descending = descending
+
+    def bind(self, positions: Mapping[str, int]) -> BoundRanking:
+        # Descending-min == ascending over negated weights *maximised*;
+        # handled by sign inside a max-style bound.
+        if self.descending:
+            return _MaxBound(self.weight, -1.0)
+        return _MinBound(self.weight, 1.0)
+
+    def describe(self) -> str:
+        return f"MIN[{self.weight.describe()}]"
+
+
+class _MaxBound(_AggregateBound):
+    zero = float("-inf")
+    strictly_monotone = False
+
+    def key(self, pairs: Sequence[Pair]) -> float:
+        return max((self._w(a, v) for a, v in pairs), default=self.zero)
+
+    def combine(self, keys: Sequence[float]) -> float:
+        return max(keys) if keys else self.zero
+
+    def final_score(self, key: float) -> float:
+        return self.sign * key
+
+
+class MaxRanking(RankingFunction):
+    """Rank by the maximum attribute weight (ascending)."""
+
+    kind = "max"
+
+    def __init__(self, weight: WeightFunction | None = None, *, descending: bool = False):
+        self.weight = weight or IdentityWeight()
+        self.descending = descending
+
+    def bind(self, positions: Mapping[str, int]) -> BoundRanking:
+        if self.descending:
+            return _MinBound(self.weight, -1.0)
+        return _MaxBound(self.weight, 1.0)
+
+    def describe(self) -> str:
+        return f"MAX[{self.weight.describe()}]"
+
+
+class _ProductBound(BoundRanking):
+    strictly_monotone = False  # zero weights freeze the combined product
+
+    def __init__(self, weight: WeightFunction, descending: bool):
+        self.weight = weight
+        self.descending = descending
+        # Keys carry the direction as their sign: ascending keys are the
+        # (non-negative) products themselves, descending keys are their
+        # negation, so smaller key == enumerated earlier in both modes.
+        self.zero = -1.0 if descending else 1.0
+
+    def _w(self, attr: str, value: Any) -> float:
+        w = self.weight(attr, value)
+        if w < 0:
+            raise RankingError(
+                f"PRODUCT ranking requires non-negative weights, got {w} for "
+                f"{attr!r}={value!r} (multiplication is not monotone otherwise)"
+            )
+        return w
+
+    def key(self, pairs: Sequence[Pair]) -> float:
+        out = 1.0
+        for a, v in pairs:
+            out *= self._w(a, v)
+        return -out if self.descending else out
+
+    def combine(self, keys: Sequence[float]) -> float:
+        out = 1.0
+        for k in keys:
+            out *= abs(k)
+        return -out if self.descending else out
+
+    def final_score(self, key: float) -> float:
+        return abs(key)
+
+
+class ProductRanking(RankingFunction):
+    """Rank by the product of non-negative attribute weights.
+
+    One of the paper's "circuits that use sum and products" extensions;
+    monotone combination requires non-negative weights, validated at key
+    creation.
+    """
+
+    kind = "product"
+
+    def __init__(self, weight: WeightFunction | None = None, *, descending: bool = False):
+        self.weight = weight or IdentityWeight()
+        self.descending = descending
+
+    def bind(self, positions: Mapping[str, int]) -> BoundRanking:
+        return _ProductBound(self.weight, self.descending)
+
+    def describe(self) -> str:
+        return f"PRODUCT[{self.weight.describe()}]"
+
+
+class _LexBound(BoundRanking):
+    zero = ()
+
+    def __init__(
+        self,
+        positions: Mapping[str, int],
+        desc_vars: frozenset[str],
+        weight: WeightFunction | None,
+    ):
+        self.positions = dict(positions)
+        self.desc_vars = desc_vars
+        self.weight = weight
+
+    def _value_key(self, attr: str, value: Any) -> Any:
+        # Weighted LEX compares per-attribute weights, with the raw value
+        # as a deterministic refinement of weight ties.
+        if self.weight is not None:
+            return (self.weight(attr, value), value)
+        return value
+
+    def key(self, pairs: Sequence[Pair]) -> tuple:
+        items = []
+        for attr, value in pairs:
+            pos = self.positions.get(attr)
+            if pos is None:
+                raise RankingError(f"LEX ranking has no position for variable {attr!r}")
+            vk = self._value_key(attr, value)
+            items.append((pos, Desc(vk) if attr in self.desc_vars else vk))
+        items.sort(key=lambda iv: iv[0])
+        return tuple(items)
+
+    def combine(self, keys: Sequence[tuple]) -> tuple:
+        merged: list[tuple[int, Any]] = []
+        for k in keys:
+            merged.extend(k)
+        merged.sort(key=lambda iv: iv[0])
+        return tuple(merged)
+
+    def final_score(self, key: tuple) -> tuple:
+        out = []
+        for _, v in key:
+            if isinstance(v, Desc):
+                v = v.value
+            if self.weight is not None:
+                v = v[1]  # unwrap the (weight, value) refinement
+            out.append(v)
+        return tuple(out)
+
+
+class LexRanking(RankingFunction):
+    """``LEXICOGRAPHIC`` ranking over the head variables.
+
+    Parameters
+    ----------
+    order:
+        Variable comparison order; defaults to the query head order at
+        bind time (positions supplied by the enumerator).
+    descending:
+        Variables to compare in descending order (the paper's
+        ``ORDER BY A1 ASC, A2 DESC ...`` generality).
+    weight:
+        Optional per-value weight function: compare attributes by
+        ``w(value)`` instead of the raw value (the paper's
+        ``ORDER BY A1.weight, A2.weight`` queries), refined by the raw
+        value on weight ties for determinism.
+    """
+
+    kind = "lexicographic"
+
+    def __init__(
+        self,
+        order: Sequence[str] | None = None,
+        descending: Iterable[str] = (),
+        *,
+        weight: WeightFunction | None = None,
+    ):
+        self.order = tuple(order) if order is not None else None
+        self.descending = frozenset(descending)
+        self.weight = weight
+
+    def bind(self, positions: Mapping[str, int]) -> BoundRanking:
+        if self.order is not None:
+            missing = [v for v in positions if v not in self.order]
+            if missing:
+                raise RankingError(f"LEX order {self.order} is missing variables {missing}")
+            pos = {v: i for i, v in enumerate(self.order) if v in positions}
+        else:
+            pos = dict(positions)
+        unknown = self.descending - set(pos)
+        if unknown:
+            raise RankingError(f"descending variables {sorted(unknown)} not in the head")
+        return _LexBound(pos, self.descending, self.weight)
+
+    def describe(self) -> str:
+        order = "head order" if self.order is None else ",".join(self.order)
+        desc = f" desc={sorted(self.descending)}" if self.descending else ""
+        w = f" w={self.weight.describe()}" if self.weight is not None else ""
+        return f"LEX[{order}{desc}{w}]"
+
+
+class _CompositeBound(BoundRanking):
+    def __init__(self, primary: BoundRanking, secondary: BoundRanking):
+        self.primary = primary
+        self.secondary = secondary
+        self.zero = (primary.zero, secondary.zero)
+        # Strictness of the pair is inherited from the primary only: a
+        # weak primary can hold the first component constant while the
+        # secondary moves arbitrarily.
+        self.strictly_monotone = primary.strictly_monotone
+
+    def key(self, pairs: Sequence[Pair]) -> tuple:
+        return (self.primary.key(pairs), self.secondary.key(pairs))
+
+    def combine(self, keys: Sequence[tuple]) -> tuple:
+        return (
+            self.primary.combine([k[0] for k in keys]),
+            self.secondary.combine([k[1] for k in keys]),
+        )
+
+    def final_score(self, key: tuple) -> tuple:
+        return (self.primary.final_score(key[0]), self.secondary.final_score(key[1]))
+
+
+class CompositeRanking(RankingFunction):
+    """Primary ranking with a secondary tie-break ranking.
+
+    Both components must themselves be monotone-decomposable, which makes
+    the pairwise combination monotone again.  Used by the Algorithm 6
+    baseline to keep equal projections adjacent.
+    """
+
+    kind = "composite"
+
+    def __init__(self, primary: RankingFunction, secondary: RankingFunction):
+        self.primary = primary
+        self.secondary = secondary
+
+    def bind(self, positions: Mapping[str, int]) -> BoundRanking:
+        return _CompositeBound(self.primary.bind(positions), self.secondary.bind(positions))
+
+    def describe(self) -> str:
+        return f"{self.primary.describe()} then {self.secondary.describe()}"

@@ -1,0 +1,119 @@
+"""CSV import/export for relations and databases.
+
+The benchmark harness materialises synthetic datasets in memory, but a
+downstream user of the library will want to load real data; this module
+gives a minimal, dependency-free CSV path:
+
+* one relation per ``<name>.csv`` file, first line = header (attribute
+  names), subsequent lines = tuples;
+* typed parsing: values that look like integers/floats are converted,
+  everything else stays a string (override with ``types=``).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Callable, Mapping, Sequence
+
+from ..errors import SchemaError
+from .database import Database
+from .relation import Relation
+
+__all__ = [
+    "load_relation_csv",
+    "save_relation_csv",
+    "load_database_dir",
+    "save_database_dir",
+    "parse_value",
+]
+
+
+def parse_value(text: str):
+    """Best-effort typed parse: int, then float, then raw string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def load_relation_csv(
+    path: str,
+    *,
+    name: str | None = None,
+    types: Sequence[Callable[[str], object]] | None = None,
+) -> Relation:
+    """Load one relation from a CSV file with a header row.
+
+    Parameters
+    ----------
+    path:
+        File path; the relation name defaults to the file stem.
+    name:
+        Override the relation name.
+    types:
+        Optional per-column converters; defaults to :func:`parse_value`
+        for every column.
+    """
+    rel_name = name or os.path.splitext(os.path.basename(path))[0]
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {path!r} is empty (missing header)") from None
+        converters: Sequence[Callable[[str], object]]
+        if types is None:
+            converters = [parse_value] * len(header)
+        else:
+            if len(types) != len(header):
+                raise SchemaError(
+                    f"{len(types)} converters given for {len(header)} columns in {path!r}"
+                )
+            converters = list(types)
+        rows = []
+        for lineno, raw in enumerate(reader, start=2):
+            if not raw:
+                continue  # skip blank lines
+            if len(raw) != len(header):
+                raise SchemaError(f"{path!r}:{lineno}: expected {len(header)} fields, got {len(raw)}")
+            rows.append(tuple(conv(cell) for conv, cell in zip(converters, raw)))
+    return Relation(rel_name, header, rows)
+
+
+def save_relation_csv(relation: Relation, path: str) -> None:
+    """Write one relation to CSV (header row + tuples)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(relation.attrs)
+        writer.writerows(relation.tuples)
+
+
+def load_database_dir(
+    directory: str, *, types: Mapping[str, Sequence[Callable[[str], object]]] | None = None
+) -> Database:
+    """Load every ``*.csv`` file in a directory as one database.
+
+    Relation names are the file stems; ``types`` optionally maps relation
+    names to per-column converters.
+    """
+    db = Database()
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".csv"):
+            continue
+        stem = os.path.splitext(entry)[0]
+        per_rel_types = None if types is None else types.get(stem)
+        db.add(load_relation_csv(os.path.join(directory, entry), types=per_rel_types))
+    return db
+
+
+def save_database_dir(db: Database, directory: str) -> None:
+    """Write every relation of ``db`` to ``<directory>/<name>.csv``."""
+    os.makedirs(directory, exist_ok=True)
+    for rel in db:
+        save_relation_csv(rel, os.path.join(directory, f"{rel.name}.csv"))

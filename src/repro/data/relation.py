@@ -1,0 +1,252 @@
+"""In-memory relations.
+
+A :class:`Relation` is the storage unit of the library: a named, ordered
+multiset of fixed-arity tuples together with a schema (a sequence of
+distinct attribute names).  Relations are deliberately simple — plain
+Python tuples in a list — because the enumeration algorithms in
+:mod:`repro.core` only need sequential scans and hash lookups, both of
+which the :mod:`repro.data.index` module layers on top.
+
+Attribute names on the relation itself are *storage* names; queries bind
+columns positionally to query variables through :class:`repro.query.query.Atom`,
+so the same relation can be used under many different variable names
+(self-joins).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..errors import SchemaError
+
+__all__ = ["Relation"]
+
+Value = Any
+Row = tuple
+
+
+def _check_schema(attrs: Sequence[str]) -> tuple[str, ...]:
+    """Validate and normalise a schema: non-empty, string names, no dups."""
+    names = tuple(attrs)
+    if not names:
+        raise SchemaError("a relation needs at least one attribute")
+    for name in names:
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"attribute names must be non-empty strings, got {name!r}")
+    if len(set(names)) != len(names):
+        raise SchemaError(f"duplicate attribute names in schema {names}")
+    return names
+
+
+class Relation:
+    """A named in-memory relation with a fixed schema.
+
+    Parameters
+    ----------
+    name:
+        The relation name used to look it up in a :class:`~repro.data.database.Database`.
+    attrs:
+        Ordered attribute (column) names; must be distinct.
+    tuples:
+        Iterable of rows.  Rows are normalised to plain tuples and checked
+        against the schema arity.
+
+    Examples
+    --------
+    >>> r = Relation("R", ("a", "b"), [(1, 10), (2, 20)])
+    >>> len(r), r.arity
+    (2, 2)
+    >>> r.column("a")
+    [1, 2]
+    """
+
+    __slots__ = ("name", "attrs", "tuples", "_indexes", "_sorted_cols")
+
+    def __init__(self, name: str, attrs: Sequence[str], tuples: Iterable[Sequence[Value]] = ()):
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        self.name = name
+        self.attrs = _check_schema(attrs)
+        arity = len(self.attrs)
+        rows: list[Row] = []
+        for row in tuples:
+            t = tuple(row)
+            if len(t) != arity:
+                raise SchemaError(
+                    f"tuple {t!r} has arity {len(t)}, relation {name!r} expects {arity}"
+                )
+            rows.append(t)
+        self.tuples: list[Row] = rows
+        # Caches; invalidated on mutation.
+        self._indexes: dict[tuple[int, ...], dict] = {}
+        self._sorted_cols: dict[str, list] = {}
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attrs)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.tuples)
+
+    def __contains__(self, row: Sequence[Value]) -> bool:
+        return tuple(row) in set(self.tuples) if len(self.tuples) > 64 else tuple(row) in self.tuples
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.name!r}, attrs={self.attrs}, n={len(self.tuples)})"
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same name, schema and multiset of tuples."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.attrs == other.attrs
+            and sorted(self.tuples) == sorted(other.tuples)
+        )
+
+    def __hash__(self) -> int:  # Relations are mutable: identity hash.
+        return id(self)
+
+    # ------------------------------------------------------------------ #
+    # schema helpers
+    # ------------------------------------------------------------------ #
+    def position(self, attr: str) -> int:
+        """Return the column index of ``attr``.
+
+        Raises
+        ------
+        SchemaError
+            If the attribute is not part of the schema.
+        """
+        try:
+            return self.attrs.index(attr)
+        except ValueError:
+            raise SchemaError(f"relation {self.name!r} has no attribute {attr!r}") from None
+
+    def positions(self, attrs: Sequence[str]) -> tuple[int, ...]:
+        """Column indexes for a sequence of attributes, in the given order."""
+        return tuple(self.position(a) for a in attrs)
+
+    def has_attr(self, attr: str) -> bool:
+        """True if ``attr`` is one of this relation's attributes."""
+        return attr in self.attrs
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add(self, row: Sequence[Value]) -> None:
+        """Append one tuple (validated against the schema arity)."""
+        t = tuple(row)
+        if len(t) != self.arity:
+            raise SchemaError(
+                f"tuple {t!r} has arity {len(t)}, relation {self.name!r} expects {self.arity}"
+            )
+        self.tuples.append(t)
+        self._invalidate()
+
+    def extend(self, rows: Iterable[Sequence[Value]]) -> None:
+        """Append many tuples."""
+        for row in rows:
+            self.add(row)
+
+    def _invalidate(self) -> None:
+        self._indexes.clear()
+        self._sorted_cols.clear()
+
+    # ------------------------------------------------------------------ #
+    # algebra helpers (used by baselines, workloads and tests)
+    # ------------------------------------------------------------------ #
+    def column(self, attr: str) -> list[Value]:
+        """All values of one attribute, in tuple order (with duplicates)."""
+        i = self.position(attr)
+        return [t[i] for t in self.tuples]
+
+    def domain(self, attr: str) -> set[Value]:
+        """Distinct values of one attribute."""
+        i = self.position(attr)
+        return {t[i] for t in self.tuples}
+
+    def sorted_domain(self, attr: str, *, reverse: bool = False) -> list[Value]:
+        """Distinct values of ``attr`` sorted ascending (cached).
+
+        The cache is keyed on the attribute; a descending view is produced
+        by reversing the cached ascending list.
+        """
+        if attr not in self._sorted_cols:
+            self._sorted_cols[attr] = sorted(self.domain(attr))
+        vals = self._sorted_cols[attr]
+        return list(reversed(vals)) if reverse else list(vals)
+
+    def project(self, attrs: Sequence[str], *, distinct: bool = False) -> "Relation":
+        """Relational projection onto ``attrs`` (optionally de-duplicated)."""
+        pos = self.positions(attrs)
+        rows: Iterable[Row] = (tuple(t[i] for i in pos) for t in self.tuples)
+        if distinct:
+            rows = _stable_unique(rows)
+        return Relation(self.name, attrs, rows)
+
+    def select(self, predicate: Callable[[Row], bool], *, name: str | None = None) -> "Relation":
+        """Relational selection with an arbitrary row predicate."""
+        return Relation(name or self.name, self.attrs, [t for t in self.tuples if predicate(t)])
+
+    def select_eq(self, attr: str, value: Value, *, name: str | None = None) -> "Relation":
+        """Selection ``σ_{attr=value}`` using the hash index when available."""
+        i = self.position(attr)
+        idx = self.index((i,))
+        return Relation(name or self.name, self.attrs, idx.get((value,), []))
+
+    def distinct(self) -> "Relation":
+        """A copy with duplicate tuples removed (first occurrence kept)."""
+        return Relation(self.name, self.attrs, _stable_unique(self.tuples))
+
+    def renamed(self, name: str) -> "Relation":
+        """A shallow copy under a different relation name (shares tuples)."""
+        r = Relation(name, self.attrs)
+        r.tuples = self.tuples
+        return r
+
+    # ------------------------------------------------------------------ #
+    # indexing
+    # ------------------------------------------------------------------ #
+    def index(self, key_positions: Sequence[int]) -> dict[tuple, list[Row]]:
+        """Hash index ``key tuple -> list of rows`` on the given columns.
+
+        Indexes are cached per column-position tuple and invalidated on
+        mutation.  An empty ``key_positions`` returns a single-entry index
+        mapping ``()`` to all rows (useful for anchorless join-tree roots).
+        """
+        key = tuple(key_positions)
+        idx = self._indexes.get(key)
+        if idx is None:
+            idx = {}
+            for t in self.tuples:
+                k = tuple(t[i] for i in key)
+                bucket = idx.get(k)
+                if bucket is None:
+                    idx[k] = [t]
+                else:
+                    bucket.append(t)
+            self._indexes[key] = idx
+        return idx
+
+    def index_on(self, attrs: Sequence[str]) -> dict[tuple, list[Row]]:
+        """Hash index keyed by attribute *names* (convenience wrapper)."""
+        return self.index(self.positions(attrs))
+
+
+def _stable_unique(rows: Iterable[Row]) -> list[Row]:
+    """Deduplicate preserving the first occurrence order."""
+    seen: set[Row] = set()
+    out: list[Row] = []
+    for t in rows:
+        if t not in seen:
+            seen.add(t)
+            out.append(t)
+    return out

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish schema problems from query-structure
+problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "QueryError",
+    "CyclicQueryError",
+    "NotAStarQueryError",
+    "DecompositionError",
+    "RankingError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A relation or database violates schema constraints.
+
+    Examples: duplicate attribute names in a relation schema, a tuple whose
+    arity does not match its schema, or two relations registered under the
+    same name.
+    """
+
+
+class QueryError(ReproError):
+    """A query object is malformed.
+
+    Examples: a head (projection) variable that does not appear in any atom,
+    an atom whose arity does not match its relation, or a union whose
+    branches disagree on the head.
+    """
+
+
+class CyclicQueryError(QueryError):
+    """An operation that requires an acyclic query received a cyclic one.
+
+    Raised by join-tree construction (:mod:`repro.query.jointree`) and by
+    the acyclic enumerators when handed a query that fails the GYO test.
+    Cyclic queries are supported through :mod:`repro.core.cyclic` instead.
+    """
+
+
+class NotAStarQueryError(QueryError):
+    """The star-query enumerator received a query that is not a star.
+
+    A star query ``Q*_m`` consists of ``m`` binary atoms ``R_i(A_i, B)``
+    that all join on the same variable ``B`` and project exactly the
+    ``A_i`` variables (paper Section 4).
+    """
+
+
+class DecompositionError(ReproError):
+    """No valid generalized hypertree decomposition could be constructed."""
+
+
+class RankingError(ReproError):
+    """A ranking function was configured or applied incorrectly.
+
+    Examples: combining keys from different ranking functions, or a
+    lexicographic ranking whose attribute order mentions unknown variables.
+    """
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload generator received invalid parameters."""

@@ -1,0 +1,30 @@
+"""Query model: CQs/UCQs, hypergraphs, join trees, GHDs, parser."""
+
+from .ghd import GHD, Bag, find_ghd, fractional_edge_cover
+from .hypergraph import Hypergraph, gyo_reduction
+from .jointree import JoinTree, JoinTreeNode, build_join_tree
+from .parser import parse_query, parse_rule
+from .properties import classify_query, delay_guarantee, is_acyclic, is_free_connex
+from .query import Atom, Const, JoinProjectQuery, UnionQuery
+
+__all__ = [
+    "Atom",
+    "Const",
+    "JoinProjectQuery",
+    "UnionQuery",
+    "Hypergraph",
+    "gyo_reduction",
+    "JoinTree",
+    "JoinTreeNode",
+    "build_join_tree",
+    "GHD",
+    "Bag",
+    "find_ghd",
+    "fractional_edge_cover",
+    "parse_query",
+    "parse_rule",
+    "classify_query",
+    "delay_guarantee",
+    "is_acyclic",
+    "is_free_connex",
+]

@@ -1,0 +1,160 @@
+"""Query hypergraphs, the GYO reduction, and acyclicity.
+
+A join query's *hypergraph* has one vertex per variable and one hyperedge
+per atom.  The query is **α-acyclic** exactly when the GYO (Graham /
+Yu–Özsoyoğlu) reduction empties the hypergraph by repeatedly applying:
+
+1. *ear vertex removal* — delete a vertex that appears in exactly one edge;
+2. *subsumed edge removal* — delete an edge contained in another edge.
+
+The reduction also yields a witness join tree: when edge ``e`` is removed
+because it is contained in edge ``w``, ``w`` becomes ``e``'s neighbour in
+the join tree.  :mod:`repro.query.jointree` consumes that witness map.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["Hypergraph", "GYOResult", "gyo_reduction"]
+
+
+class Hypergraph:
+    """An immutable multihypergraph ``edge name -> variable set``.
+
+    Edge names are atom aliases, so self-joins contribute multiple edges
+    with (possibly) identical variable sets.
+
+    Examples
+    --------
+    >>> h = Hypergraph({"R": {"a", "b"}, "S": {"b", "c"}})
+    >>> h.is_acyclic()
+    True
+    >>> tri = Hypergraph({"R": {"x","y"}, "S": {"y","z"}, "T": {"z","x"}})
+    >>> tri.is_acyclic()
+    False
+    """
+
+    __slots__ = ("edges",)
+
+    def __init__(self, edges: Mapping[str, Iterable[str]]):
+        self.edges: dict[str, frozenset[str]] = {
+            name: frozenset(vs) for name, vs in edges.items()
+        }
+
+    @property
+    def vertices(self) -> frozenset[str]:
+        """All variables across edges."""
+        out: set[str] = set()
+        for vs in self.edges.values():
+            out |= vs
+        return frozenset(out)
+
+    def incident_edges(self, vertex: str) -> list[str]:
+        """Names of edges containing ``vertex``."""
+        return [name for name, vs in self.edges.items() if vertex in vs]
+
+    def primal_graph(self) -> dict[str, set[str]]:
+        """The primal (Gaifman) graph: variables adjacent iff they co-occur
+        in some edge.  Used by the GHD search."""
+        adj: dict[str, set[str]] = {v: set() for v in self.vertices}
+        for vs in self.edges.values():
+            for v in vs:
+                adj[v] |= vs - {v}
+        return adj
+
+    def is_acyclic(self) -> bool:
+        """α-acyclicity via the GYO reduction."""
+        return gyo_reduction(self).acyclic
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{n}{sorted(vs)}" for n, vs in self.edges.items())
+        return f"Hypergraph({inner})"
+
+
+class GYOResult:
+    """Outcome of a GYO reduction.
+
+    Attributes
+    ----------
+    acyclic:
+        True when the reduction succeeded.
+    witness:
+        ``removed edge -> absorbing edge`` containment witnesses, in
+        removal order.  For an acyclic hypergraph these edges, read as
+        undirected links, form a join tree over all atom aliases (the
+        final surviving edge is the tree's natural root candidate).
+    survivor:
+        Name of the last remaining edge (``None`` if the input was empty
+        or the reduction got stuck).
+    """
+
+    __slots__ = ("acyclic", "witness", "survivor")
+
+    def __init__(self, acyclic: bool, witness: list[tuple[str, str]], survivor: str | None):
+        self.acyclic = acyclic
+        self.witness = witness
+        self.survivor = survivor
+
+
+def gyo_reduction(hypergraph: Hypergraph) -> GYOResult:
+    """Run the GYO reduction, recording containment witnesses.
+
+    The loop alternates the two GYO rules until neither applies.  The
+    hypergraph is acyclic iff a single edge remains.  Deterministic:
+    candidates are scanned in insertion order so join trees are stable
+    across runs (important for reproducible benchmarks).
+    """
+    # Work on mutable copies of the edge sets.
+    edges: dict[str, set[str]] = {n: set(vs) for n, vs in hypergraph.edges.items()}
+    if not edges:
+        return GYOResult(True, [], None)
+    witness: list[tuple[str, str]] = []
+
+    changed = True
+    while changed and len(edges) > 1:
+        changed = False
+
+        # Rule 1: remove vertices appearing in exactly one edge.
+        counts: dict[str, int] = {}
+        for vs in edges.values():
+            for v in vs:
+                counts[v] = counts.get(v, 0) + 1
+        lonely = {v for v, c in counts.items() if c == 1}
+        if lonely:
+            for vs in edges.values():
+                if vs & lonely:
+                    vs -= lonely
+                    changed = True
+
+        # Rule 2: remove one edge contained in another edge.  Only one
+        # removal per pass (then vertex counts are recomputed), so equal
+        # edge sets cannot eliminate each other.
+        names = list(edges)
+        removed = None
+        for a in names:
+            for b in names:
+                if a != b and edges[a] <= edges[b]:
+                    witness.append((a, b))
+                    removed = a
+                    break
+            if removed:
+                break
+        if removed is not None:
+            del edges[removed]
+            changed = True
+
+    if len(edges) == 1:
+        return GYOResult(True, witness, next(iter(edges)))
+
+    # Stuck with >1 edge: cyclic — unless the leftovers became empty sets
+    # (possible when atoms are disconnected single-variable edges).
+    nonempty = {n for n, vs in edges.items() if vs}
+    if not nonempty:
+        # All variables eliminated: link the empty edges in a chain (they are
+        # cartesian-product components; any tree over them is a join tree).
+        names = list(edges)
+        for a, b in zip(names, names[1:]):
+            witness.append((a, b))
+        return GYOResult(True, witness, names[-1])
+    return GYOResult(False, witness, None)

@@ -1,0 +1,341 @@
+"""Join trees for acyclic queries (paper §2, Figure 1).
+
+A *join tree* has one node per atom; for every variable the nodes whose
+atoms contain it form a connected subtree (the running-intersection
+property).  Rooting the tree defines, per node ``i``:
+
+* ``anchor(R_i)`` — the variables shared with the parent (``∅`` at the
+  root).  Priority queues in Algorithm 1 are indexed by anchor values.
+* *owned head variables* — the projection variables whose topmost
+  occurrence is this node; every projection variable is owned by exactly
+  one node, which is how partial outputs compose without double counting.
+* ``A^π_i`` — the ordered projection variables of the subtree rooted at
+  ``i``, laid out in the paper's in-order traversal (first child's block,
+  then the node's own variables, then the remaining children's blocks).
+
+Construction uses the GYO reduction witness map, so it works for any
+acyclic query including self-joins; a :class:`~repro.errors.CyclicQueryError`
+is raised otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..errors import CyclicQueryError, QueryError
+from .hypergraph import Hypergraph, gyo_reduction
+from .query import Atom, JoinProjectQuery
+
+__all__ = ["JoinTreeNode", "JoinTree", "build_join_tree"]
+
+
+class JoinTreeNode:
+    """One node of a rooted join tree.
+
+    Attributes
+    ----------
+    atom:
+        The query atom at this node.
+    parent / children:
+        Tree links (``parent is None`` at the root).
+    anchor:
+        Ordered variables shared with the parent (``()`` at the root).
+    own_head_vars:
+        Projection variables owned by this node (topmost occurrence),
+        ordered as they appear in the atom.
+    subtree_head_vars:
+        The paper's ``A^π_i``: ordered projection variables of the whole
+        subtree, in in-order layout.  Filled by :class:`JoinTree`.
+    """
+
+    __slots__ = (
+        "atom",
+        "parent",
+        "children",
+        "anchor",
+        "own_head_vars",
+        "subtree_head_vars",
+    )
+
+    def __init__(self, atom: Atom):
+        self.atom = atom
+        self.parent: JoinTreeNode | None = None
+        self.children: list[JoinTreeNode] = []
+        self.anchor: tuple[str, ...] = ()
+        self.own_head_vars: tuple[str, ...] = ()
+        self.subtree_head_vars: tuple[str, ...] = ()
+
+    @property
+    def alias(self) -> str:
+        """The atom alias (unique node identifier)."""
+        return self.atom.alias
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """Variables of the node's atom."""
+        return self.atom.var_set
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        """True when the node has no parent."""
+        return self.parent is None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JoinTreeNode({self.alias}, anchor={self.anchor}, own={self.own_head_vars})"
+
+
+class JoinTree:
+    """A rooted join tree for a :class:`JoinProjectQuery`.
+
+    Use :func:`build_join_tree` to construct one; the constructor assumes
+    the parent/child links are already a valid tree over the query atoms
+    and derives anchors, ownership and subtree orders, then *verifies* the
+    running-intersection property (defence in depth against bugs in the
+    GYO witness handling).
+    """
+
+    __slots__ = ("query", "root", "nodes", "_by_alias")
+
+    def __init__(self, query: JoinProjectQuery, root: JoinTreeNode, nodes: Sequence[JoinTreeNode]):
+        self.query = query
+        self.root = root
+        self.nodes: tuple[JoinTreeNode, ...] = tuple(nodes)
+        self._by_alias = {n.alias: n for n in self.nodes}
+        if len(self._by_alias) != len(self.nodes):
+            raise QueryError("duplicate atom aliases in join tree")
+        self._derive_anchors()
+        self._derive_ownership()
+        self._derive_subtree_orders()
+        self._verify_running_intersection()
+
+    # ------------------------------------------------------------------ #
+    # derivation
+    # ------------------------------------------------------------------ #
+    def _derive_anchors(self) -> None:
+        for node in self.nodes:
+            if node.parent is None:
+                node.anchor = ()
+            else:
+                shared = node.parent.variables & node.variables
+                node.anchor = tuple(v for v in node.atom.variables if v in shared)
+
+    def _derive_ownership(self) -> None:
+        head = self.query.head_set
+        for node in self.nodes:
+            anchored = set(node.anchor)
+            node.own_head_vars = tuple(
+                v for v in node.atom.variables if v in head and v not in anchored
+            )
+
+    def _derive_subtree_orders(self) -> None:
+        def build(node: JoinTreeNode) -> tuple[str, ...]:
+            parts: list[str] = []
+            if node.children:
+                parts.extend(build(node.children[0]))
+            parts.extend(node.own_head_vars)
+            for child in node.children[1:]:
+                parts.extend(build(child))
+            node.subtree_head_vars = tuple(parts)
+            return node.subtree_head_vars
+
+        order = build(self.root)
+        if set(order) != self.query.head_set or len(order) != len(self.query.head):
+            raise QueryError(
+                f"ownership derivation failed: traversal {order} vs head {self.query.head}"
+            )
+
+    def _verify_running_intersection(self) -> None:
+        for var in self.query.variables:
+            holders = [n for n in self.nodes if var in n.variables]
+            # In a tree, a vertex set is connected iff (#nodes - #internal
+            # parent links) == 1.
+            links = sum(
+                1 for n in holders if n.parent is not None and var in n.parent.variables
+            )
+            if len(holders) - links != 1:
+                raise CyclicQueryError(
+                    f"variable {var!r} does not induce a connected subtree; "
+                    "the tree is not a valid join tree"
+                )
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def node(self, alias: str) -> JoinTreeNode:
+        """Node by atom alias."""
+        try:
+            return self._by_alias[alias]
+        except KeyError:
+            raise QueryError(f"join tree has no node {alias!r}") from None
+
+    def post_order(self) -> Iterator[JoinTreeNode]:
+        """Children-before-parents iteration (Algorithm 1's order)."""
+
+        def walk(node: JoinTreeNode) -> Iterator[JoinTreeNode]:
+            for child in node.children:
+                yield from walk(child)
+            yield node
+
+        return walk(self.root)
+
+    def pre_order(self) -> Iterator[JoinTreeNode]:
+        """Parents-before-children iteration (top-down reducer pass)."""
+
+        def walk(node: JoinTreeNode) -> Iterator[JoinTreeNode]:
+            yield node
+            for child in node.children:
+                yield from walk(child)
+
+        return walk(self.root)
+
+    @property
+    def output_order(self) -> tuple[str, ...]:
+        """The global projection-variable order (root's ``A^π``)."""
+        return self.root.subtree_head_vars
+
+    def depth(self) -> int:
+        """Height of the tree (1 for a single node)."""
+
+        def h(node: JoinTreeNode) -> int:
+            return 1 + max((h(c) for c in node.children), default=0)
+
+        return h(self.root)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        def render(node: JoinTreeNode, depth: int) -> list[str]:
+            lines = ["  " * depth + repr(node.atom) + f"  anchor={node.anchor}"]
+            for child in node.children:
+                lines.extend(render(child, depth + 1))
+            return lines
+
+        return "\n".join(render(self.root, 0))
+
+    # ------------------------------------------------------------------ #
+    # transforms
+    # ------------------------------------------------------------------ #
+    def rerooted(self, root_alias: str) -> "JoinTree":
+        """The same tree re-rooted at another atom (paper: any root works)."""
+        return build_join_tree(self.query, root=root_alias, _edges=self._undirected_edges())
+
+    def pruned(self) -> tuple["JoinTree", list[str]]:
+        """Drop maximal subtrees containing no projection variable.
+
+        Such subtrees are pure existential filters; after a full-reducer
+        pass every remaining tuple is already guaranteed to extend into
+        them, so the enumerator can ignore them (used by
+        :mod:`repro.core.acyclic`; see Lemma 1's opening assumption).
+
+        Returns the pruned tree and the list of dropped atom aliases.
+        May return ``self`` unchanged when nothing is prunable.
+        """
+        keep: set[str] = set()
+
+        def mark(node: JoinTreeNode) -> bool:
+            has_output = bool(node.own_head_vars)
+            for child in node.children:
+                if mark(child):
+                    has_output = True
+            if has_output:
+                keep.add(node.alias)
+            return has_output
+
+        mark(self.root)
+        if not keep:
+            # Head vars exist, so the root path to some owner is kept; this
+            # cannot happen for a validated query.
+            raise QueryError("pruning would remove the entire tree")
+        if len(keep) == len(self.nodes):
+            return self, []
+        dropped = [n.alias for n in self.nodes if n.alias not in keep]
+        kept_atoms = [n.atom for n in self.nodes if n.alias in keep]
+        sub_query = JoinProjectQuery(kept_atoms, self.query.head, name=self.query.name)
+        edges = [
+            (a, b) for a, b in self._undirected_edges() if a in keep and b in keep
+        ]
+        tree = build_join_tree(sub_query, root=self.root.alias, _edges=edges)
+        return tree, dropped
+
+    def _undirected_edges(self) -> list[tuple[str, str]]:
+        return [
+            (node.alias, node.parent.alias) for node in self.nodes if node.parent is not None
+        ]
+
+
+def build_join_tree(
+    query: JoinProjectQuery,
+    root: str | None = None,
+    *,
+    _edges: Sequence[tuple[str, str]] | None = None,
+) -> JoinTree:
+    """Construct a rooted join tree for an acyclic query.
+
+    Parameters
+    ----------
+    query:
+        The join-project query.
+    root:
+        Optional atom alias to use as the root.  The paper proves any
+        root yields the same guarantees; benchmarks sweep this.
+    _edges:
+        Internal: pre-computed undirected tree edges (used by
+        :meth:`JoinTree.rerooted` / :meth:`JoinTree.pruned`).
+
+    Raises
+    ------
+    CyclicQueryError
+        If the query hypergraph fails the GYO test.
+    """
+    aliases = [a.alias for a in query.atoms]
+    if _edges is None:
+        result = gyo_reduction(Hypergraph(query.edge_map()))
+        if not result.acyclic:
+            raise CyclicQueryError(
+                f"query {query.name} is cyclic; use repro.core.cyclic (GHD-based) instead"
+            )
+        edges = result.witness
+    else:
+        edges = list(_edges)
+
+    if len(query.atoms) == 1:
+        node = JoinTreeNode(query.atoms[0])
+        return JoinTree(query, node, [node])
+
+    adjacency: dict[str, list[str]] = {alias: [] for alias in aliases}
+    for a, b in edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+
+    root_alias = root if root is not None else aliases[0]
+    if root_alias not in adjacency:
+        raise QueryError(f"unknown root alias {root_alias!r}")
+
+    atom_by_alias = {a.alias: a for a in query.atoms}
+    nodes: dict[str, JoinTreeNode] = {alias: JoinTreeNode(atom_by_alias[alias]) for alias in aliases}
+
+    # Orient edges away from the root with an iterative DFS (stable child
+    # order: adjacency insertion order).
+    visited = {root_alias}
+    stack = [root_alias]
+    order = [root_alias]
+    while stack:
+        current = stack.pop()
+        for neighbour in adjacency[current]:
+            if neighbour not in visited:
+                visited.add(neighbour)
+                nodes[neighbour].parent = nodes[current]
+                nodes[current].children.append(nodes[neighbour])
+                stack.append(neighbour)
+                order.append(neighbour)
+    if len(visited) != len(aliases):
+        raise CyclicQueryError(
+            f"join tree for {query.name} is disconnected: {set(aliases) - visited}"
+        )
+    return JoinTree(query, nodes[root_alias], [nodes[a] for a in order])

@@ -1,0 +1,110 @@
+"""A tiny Datalog-style parser for join-project queries.
+
+The library's programmatic API (:class:`~repro.query.query.Atom`,
+:class:`~repro.query.query.JoinProjectQuery`) is the primary interface,
+but a compact text form is convenient in examples, tests and notebooks:
+
+    Q(a1, a2) :- R(a1, p), R(a2, p)
+
+* the rule head lists the projection variables (``SELECT DISTINCT``),
+* the body lists atoms as ``RelationName(v1, v2, ...)``,
+* numeric literals and quoted strings are equality selections
+  (``Movie(m, 2024)``, ``Person(p, 'actor')``),
+* several rules with the same head, separated by ``;``, form a union
+  query (UCQ).
+
+Examples
+--------
+>>> q = parse_query("Q(a1, a2) :- R(a1, p), R(a2, p)")
+>>> q.head
+('a1', 'a2')
+>>> u = parse_query("Q(x) :- R(x, y) ; Q(x) :- S(x, z)")
+>>> len(u.branches)
+2
+>>> parse_query("Q(m) :- Movie(m, 2024, 'drama')").atoms[0].selections
+((1, 2024), (2, 'drama'))
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import QueryError
+from .query import Atom, Const, JoinProjectQuery, UnionQuery
+
+__all__ = ["parse_query", "parse_rule"]
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(\s*([^()]*?)\s*\)\s*")
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?\d*\.\d+$")
+_QUOTED_RE = re.compile(r"""^(['"])(.*)\1$""")
+
+
+def _parse_term(text: str) -> str | Const:
+    """Variable name, or Const for numeric literals / quoted strings."""
+    if _INT_RE.match(text):
+        return Const(int(text))
+    if _FLOAT_RE.match(text):
+        return Const(float(text))
+    quoted = _QUOTED_RE.match(text)
+    if quoted:
+        return Const(quoted.group(2))
+    return text
+
+
+def _parse_atom_list(text: str, *, what: str) -> list[tuple[str, tuple]]:
+    """Parse ``R(a, b), S(b, 3)`` into ``[(name, terms), ...]``."""
+    out: list[tuple[str, tuple]] = []
+    pos = 0
+    while pos < len(text):
+        match = _ATOM_RE.match(text, pos)
+        if not match:
+            raise QueryError(f"cannot parse {what} at: {text[pos:]!r}")
+        name, inner = match.group(1), match.group(2)
+        terms = tuple(_parse_term(v.strip()) for v in inner.split(",") if v.strip())
+        if not terms:
+            raise QueryError(f"atom {name!r} has no terms")
+        out.append((name, terms))
+        pos = match.end()
+        if pos < len(text):
+            if text[pos] != ",":
+                raise QueryError(f"expected ',' between atoms, got {text[pos:]!r}")
+            pos += 1
+    if not out:
+        raise QueryError(f"empty {what}")
+    return out
+
+
+def parse_rule(text: str) -> JoinProjectQuery:
+    """Parse a single rule ``Head(vars) :- Atom(vars), ...``."""
+    if ":-" not in text:
+        raise QueryError(f"rule {text!r} is missing ':-'")
+    head_text, body_text = text.split(":-", 1)
+    heads = _parse_atom_list(head_text.strip(), what="rule head")
+    if len(heads) != 1:
+        raise QueryError(f"rule head must be a single atom: {head_text!r}")
+    head_name, head_terms = heads[0]
+    head_vars = []
+    for t in head_terms:
+        if isinstance(t, Const):
+            raise QueryError(f"rule head cannot contain the constant {t!r}")
+        head_vars.append(t)
+    atoms = [
+        Atom(name, ts) for name, ts in _parse_atom_list(body_text.strip(), what="rule body")
+    ]
+    return JoinProjectQuery(atoms, head_vars, name=head_name)
+
+
+def parse_query(text: str) -> JoinProjectQuery | UnionQuery:
+    """Parse one rule, or several ``;``-separated rules into a union.
+
+    Returns a :class:`JoinProjectQuery` for a single rule and a
+    :class:`UnionQuery` when more than one rule is given.
+    """
+    rules = [part.strip() for part in text.split(";") if part.strip()]
+    if not rules:
+        raise QueryError("empty query text")
+    queries = [parse_rule(rule) for rule in rules]
+    if len(queries) == 1:
+        return queries[0]
+    return UnionQuery(queries)

@@ -1,0 +1,320 @@
+"""The query model: join-project queries and unions thereof.
+
+The paper studies queries of the form
+
+    Q = π_A( R_1(A_1) ⋈ R_2(A_2) ⋈ ... ⋈ R_m(A_m) )
+
+where each ``R_i(A_i)`` is an *atom*: a relation name together with an
+ordered tuple of query variables bound positionally to the relation's
+columns.  Self-joins are expressed by repeating the relation name under
+different variables (e.g. the DBLP 2-hop query uses the author-paper edge
+relation twice).  The natural join equates variables with the same name
+across atoms.
+
+``head`` is the ordered tuple of projection variables ``A`` (the paper's
+``SELECT DISTINCT`` list); a query is *full* when the head covers every
+variable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..errors import QueryError
+
+__all__ = ["Const", "Atom", "JoinProjectQuery", "UnionQuery"]
+
+
+class Const:
+    """A constant term inside an atom: an equality selection.
+
+    ``Atom("R", ("x", Const(3)))`` stands for ``σ_{#2=3}(R)`` with the
+    remaining column bound to ``x`` — the paper's "selections can be
+    easily incorporated" device.  The parser produces these for numeric
+    literals and quoted strings (``R(x, 3)``, ``R(x, 'actor')``).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.value))
+
+
+class Atom:
+    """One occurrence of a relation in a query body.
+
+    Parameters
+    ----------
+    relation:
+        Name of the relation in the database.
+    terms:
+        Per-column terms, bound positionally: variable names (strings)
+        or :class:`Const` equality selections.  At least one variable is
+        required and repeated variables inside one atom are rejected
+        (the standard join-project fragment).
+    alias:
+        Optional distinct name for this occurrence; defaults to the
+        relation name, and is made unique per query automatically.
+
+    Examples
+    --------
+    >>> Atom("R", ("x", "y"))
+    R(x, y)
+    >>> Atom("Movie", ("m", Const(2024)))
+    Movie(m, 2024)
+    """
+
+    __slots__ = ("relation", "terms", "variables", "alias")
+
+    def __init__(self, relation: str, terms: Sequence[str | Const], alias: str | None = None):
+        if not relation:
+            raise QueryError("atom needs a relation name")
+        ts = tuple(terms)
+        if not ts:
+            raise QueryError(f"atom over {relation!r} needs at least one term")
+        vs: list[str] = []
+        for t in ts:
+            if isinstance(t, Const):
+                continue
+            if not isinstance(t, str) or not t:
+                raise QueryError(
+                    f"terms must be variable names or Const values, got {t!r}"
+                )
+            vs.append(t)
+        if not vs:
+            raise QueryError(f"atom over {relation!r} needs at least one variable")
+        if len(set(vs)) != len(vs):
+            raise QueryError(f"repeated variable inside atom {relation}{ts}")
+        self.relation = relation
+        self.terms = ts
+        self.variables = tuple(vs)
+        self.alias = alias or relation
+
+    @property
+    def arity(self) -> int:
+        """Number of relation columns this atom binds (terms, not vars)."""
+        return len(self.terms)
+
+    @property
+    def selections(self) -> tuple[tuple[int, Any], ...]:
+        """``(column position, required value)`` pairs for Const terms."""
+        return tuple(
+            (i, t.value) for i, t in enumerate(self.terms) if isinstance(t, Const)
+        )
+
+    @property
+    def variable_positions(self) -> tuple[int, ...]:
+        """Column positions of the variable terms, in variable order."""
+        return tuple(i for i, t in enumerate(self.terms) if not isinstance(t, Const))
+
+    @property
+    def var_set(self) -> frozenset[str]:
+        """The variables of this atom as a frozenset."""
+        return frozenset(self.variables)
+
+    def position(self, var: str) -> int:
+        """Index of ``var`` inside this atom's variable tuple."""
+        try:
+            return self.variables.index(var)
+        except ValueError:
+            raise QueryError(f"atom {self!r} has no variable {var!r}") from None
+
+    def __repr__(self) -> str:
+        return f"{self.alias}({', '.join(str(t) for t in self.terms)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return (
+            self.relation == other.relation
+            and self.terms == other.terms
+            and self.alias == other.alias
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.terms, self.alias))
+
+
+def _uniquify_aliases(atoms: Sequence[Atom]) -> list[Atom]:
+    """Give every atom occurrence a distinct alias (``R``, ``R#2``, ...)."""
+    seen: dict[str, int] = {}
+    out: list[Atom] = []
+    for atom in atoms:
+        count = seen.get(atom.alias, 0) + 1
+        seen[atom.alias] = count
+        if count == 1:
+            out.append(atom)
+        else:
+            out.append(Atom(atom.relation, atom.terms, alias=f"{atom.alias}#{count}"))
+    return out
+
+
+class JoinProjectQuery:
+    """A join-project query ``π_head(atom_1 ⋈ ... ⋈ atom_m)``.
+
+    Parameters
+    ----------
+    atoms:
+        The body; at least one atom.
+    head:
+        Ordered projection variables (the paper's ``A``).  Must be a
+        subset of the body variables.  Defaults to *all* variables in
+        first-appearance order (a full query).
+    name:
+        Optional label used in reports and benchmarks.
+
+    Examples
+    --------
+    The paper's Example 1 (co-author pairs) over an edge relation
+    ``R(author, paper)``:
+
+    >>> q = JoinProjectQuery(
+    ...     [Atom("R", ("a1", "p")), Atom("R", ("a2", "p"))], head=("a1", "a2")
+    ... )
+    >>> q.is_full
+    False
+    >>> sorted(q.variables)
+    ['a1', 'a2', 'p']
+    """
+
+    __slots__ = ("atoms", "head", "name")
+
+    def __init__(
+        self,
+        atoms: Iterable[Atom],
+        head: Sequence[str] | None = None,
+        *,
+        name: str | None = None,
+    ):
+        atom_list = _uniquify_aliases(list(atoms))
+        if not atom_list:
+            raise QueryError("a query needs at least one atom")
+        self.atoms: tuple[Atom, ...] = tuple(atom_list)
+        all_vars = self.variables
+        if head is None:
+            head_t = self._vars_in_appearance_order()
+        else:
+            head_t = tuple(head)
+            if len(set(head_t)) != len(head_t):
+                raise QueryError(f"repeated variable in head {head_t}")
+            missing = [v for v in head_t if v not in all_vars]
+            if missing:
+                raise QueryError(f"head variables {missing} do not appear in any atom")
+        if not head_t:
+            raise QueryError("empty head: boolean queries are not in the enumeration fragment")
+        self.head: tuple[str, ...] = head_t
+        self.name = name or self._default_name()
+
+    # ------------------------------------------------------------------ #
+    # derived structure
+    # ------------------------------------------------------------------ #
+    @property
+    def variables(self) -> frozenset[str]:
+        """All variables appearing in the body."""
+        return frozenset(v for atom in self.atoms for v in atom.variables)
+
+    def _vars_in_appearance_order(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for atom in self.atoms:
+            for v in atom.variables:
+                if v not in seen:
+                    seen.append(v)
+        return tuple(seen)
+
+    @property
+    def head_set(self) -> frozenset[str]:
+        """The projection variables as a frozenset."""
+        return frozenset(self.head)
+
+    @property
+    def is_full(self) -> bool:
+        """True when the head covers every body variable (no projection)."""
+        return self.head_set == self.variables
+
+    @property
+    def existential_variables(self) -> frozenset[str]:
+        """Variables projected away (the paper's ``A \\ A``)."""
+        return self.variables - self.head_set
+
+    def atoms_with(self, var: str) -> list[Atom]:
+        """All atoms whose variable tuple mentions ``var``."""
+        return [a for a in self.atoms if var in a.var_set]
+
+    def edge_map(self) -> dict[str, frozenset[str]]:
+        """Hypergraph view: ``alias -> variable set`` (one edge per atom)."""
+        return {a.alias: a.var_set for a in self.atoms}
+
+    def full_version(self) -> "JoinProjectQuery":
+        """The same body with *all* variables in the head (Algorithm 6)."""
+        return JoinProjectQuery(
+            self.atoms, self._vars_in_appearance_order(), name=f"{self.name}_full"
+        )
+
+    def with_head(self, head: Sequence[str]) -> "JoinProjectQuery":
+        """The same body under a different projection list."""
+        return JoinProjectQuery(self.atoms, head, name=self.name)
+
+    def _default_name(self) -> str:
+        return "Q(" + ",".join(a.alias for a in self.atoms) + ")"
+
+    # ------------------------------------------------------------------ #
+    # protocol
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        body = " ⋈ ".join(repr(a) for a in self.atoms)
+        return f"π_{{{', '.join(self.head)}}}({body})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JoinProjectQuery):
+            return NotImplemented
+        return self.atoms == other.atoms and self.head == other.head
+
+    def __hash__(self) -> int:
+        return hash((self.atoms, self.head))
+
+
+class UnionQuery:
+    """A union of join-project queries over a shared head (paper §5, Thm 4).
+
+    All branches must project the *same* head variables in the same order
+    so that their outputs are union-compatible.
+
+    Examples
+    --------
+    >>> q1 = JoinProjectQuery([Atom("R", ("x", "y"))], head=("x",))
+    >>> q2 = JoinProjectQuery([Atom("S", ("x", "z"))], head=("x",))
+    >>> u = UnionQuery([q1, q2])
+    >>> len(u.branches)
+    2
+    """
+
+    __slots__ = ("branches", "head", "name")
+
+    def __init__(self, branches: Iterable[JoinProjectQuery], *, name: str | None = None):
+        branch_list = list(branches)
+        if not branch_list:
+            raise QueryError("a union query needs at least one branch")
+        head = branch_list[0].head
+        for q in branch_list[1:]:
+            if q.head != head:
+                raise QueryError(
+                    f"union branches disagree on the head: {q.head} vs {head}"
+                )
+        self.branches: tuple[JoinProjectQuery, ...] = tuple(branch_list)
+        self.head: tuple[str, ...] = head
+        self.name = name or " ∪ ".join(q.name for q in branch_list)
+
+    def __repr__(self) -> str:
+        return " ∪ ".join(repr(q) for q in self.branches)
+
+    def __len__(self) -> int:
+        return len(self.branches)

@@ -1,0 +1,57 @@
+"""Synthetic workloads: dataset generators, paper queries, weight schemes."""
+
+from .datasets import (
+    Workload,
+    make_bipartite_workload,
+    make_dblp_like,
+    make_friendster_like,
+    make_imdb_like,
+    make_ldbc_like,
+    make_memetracker_like,
+)
+from .generators import power_law_graph, uniform_bipartite, zipf_bipartite
+from .queries import (
+    QuerySpec,
+    bipartite_cycle,
+    bowtie,
+    butterfly,
+    four_hop,
+    general_cycle,
+    ldbc_q3_like,
+    ldbc_q10_like,
+    ldbc_q11_like,
+    path,
+    star,
+    three_hop,
+    two_hop,
+)
+from .weights import log_degree_weights, random_weights, table_weight_for_vars
+
+__all__ = [
+    "Workload",
+    "make_bipartite_workload",
+    "make_dblp_like",
+    "make_imdb_like",
+    "make_memetracker_like",
+    "make_friendster_like",
+    "make_ldbc_like",
+    "zipf_bipartite",
+    "uniform_bipartite",
+    "power_law_graph",
+    "QuerySpec",
+    "two_hop",
+    "three_hop",
+    "four_hop",
+    "star",
+    "path",
+    "bipartite_cycle",
+    "bowtie",
+    "general_cycle",
+    "butterfly",
+    "ldbc_q3_like",
+    "ldbc_q10_like",
+    "ldbc_q11_like",
+    "log_degree_weights",
+    "random_weights",
+    "table_weight_for_vars",
+]

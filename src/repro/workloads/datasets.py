@@ -1,0 +1,244 @@
+"""Synthetic stand-ins for the paper's datasets (§6.1).
+
+The paper evaluates on DBLP and IMDB (small scale), Friendster and
+Memetracker (large scale) and LDBC SNB (scalability).  For every query
+in the evaluation these reduce to *skewed bipartite edge relations*
+(author-paper, person-movie, user-group, user-meme) or a social graph
+(person-knows-person + person-post).  The builders here generate seeded
+synthetic equivalents whose degree skew — the driver of all performance
+effects — is tuned per dataset family (Memetracker's "high duplication
+of answers" gets the heaviest tail).  See DESIGN.md §4 for the full
+substitution argument.
+
+Every builder returns a :class:`Workload`: the database, per-entity-kind
+weight tables under both of the paper's schemes (random, logarithmic),
+and a :meth:`Workload.ranking` factory that wires a
+:class:`~repro.workloads.queries.QuerySpec` to the right tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.ranking import LexRanking, RankingFunction, SumRanking
+from ..data.database import Database
+from ..errors import WorkloadError
+from .generators import power_law_graph, zipf_bipartite
+from .queries import QuerySpec
+from .weights import log_degree_weights, random_weights, table_weight_for_vars
+
+__all__ = [
+    "Workload",
+    "make_bipartite_workload",
+    "make_dblp_like",
+    "make_imdb_like",
+    "make_memetracker_like",
+    "make_friendster_like",
+    "make_ldbc_like",
+]
+
+
+class Workload:
+    """A dataset plus its entity weight tables.
+
+    Attributes
+    ----------
+    name:
+        Dataset family label ("dblp-like", ...).
+    db:
+        The generated :class:`Database`.
+    entity_weights:
+        ``scheme -> entity kind -> {value: weight}`` with schemes
+        ``"random"`` and ``"log"`` (paper §6.1.1).
+    meta:
+        Generation parameters, for reports.
+    """
+
+    __slots__ = ("name", "db", "entity_weights", "meta")
+
+    def __init__(
+        self,
+        name: str,
+        db: Database,
+        entity_weights: Mapping[str, Mapping[str, dict]],
+        meta: dict,
+    ):
+        self.name = name
+        self.db = db
+        self.entity_weights = {s: dict(kinds) for s, kinds in entity_weights.items()}
+        self.meta = dict(meta)
+
+    def weight_tables_for(self, spec: QuerySpec, *, scheme: str = "random") -> dict:
+        """``head variable -> weight table`` for one query spec."""
+        try:
+            kinds = self.entity_weights[scheme]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown weight scheme {scheme!r}; have {sorted(self.entity_weights)}"
+            ) from None
+        tables = {}
+        for var in spec.query.head:
+            kind = spec.var_entities[var]
+            if kind not in kinds:
+                raise WorkloadError(
+                    f"workload {self.name!r} has no entity kind {kind!r} "
+                    f"(have {sorted(kinds)})"
+                )
+            tables[var] = kinds[kind]
+        return tables
+
+    def ranking(
+        self,
+        spec: QuerySpec,
+        *,
+        kind: str = "sum",
+        scheme: str = "random",
+        descending: bool = False,
+    ) -> RankingFunction:
+        """Build the paper's ranking for a query over this dataset.
+
+        ``kind="sum"`` gives ``ORDER BY w(A1) + w(A2) + ...``;
+        ``kind="lex"`` gives ``ORDER BY w(A1), w(A2), ...``.
+        """
+        weight = table_weight_for_vars(self.weight_tables_for(spec, scheme=scheme))
+        if kind == "sum":
+            return SumRanking(weight, descending=descending)
+        if kind == "lex":
+            descending_vars = tuple(spec.query.head) if descending else ()
+            return LexRanking(weight=weight, descending=descending_vars)
+        raise WorkloadError(f"unknown ranking kind {kind!r}; use 'sum' or 'lex'")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Workload({self.name}, |D|={self.db.size})"
+
+
+def make_bipartite_workload(
+    name: str,
+    *,
+    n_left: int,
+    n_right: int,
+    n_edges: int,
+    skew_left: float,
+    skew_right: float,
+    seed: int,
+    edge_name: str = "E",
+) -> Workload:
+    """Shared builder for the bipartite dataset families."""
+    edges = zipf_bipartite(
+        n_left,
+        n_right,
+        n_edges,
+        skew_left=skew_left,
+        skew_right=skew_right,
+        seed=seed,
+    )
+    db = Database()
+    rel = db.add_relation(edge_name, ("a", "p"), edges)
+    entity_weights = {
+        "random": {
+            "left": random_weights(range(n_left), seed=seed + 1),
+            "right": random_weights(range(n_right), seed=seed + 2),
+        },
+        "log": {
+            "left": {**{v: 0.0 for v in range(n_left)}, **log_degree_weights(rel, "a")},
+            "right": {**{v: 0.0 for v in range(n_right)}, **log_degree_weights(rel, "p")},
+        },
+    }
+    meta = {
+        "n_left": n_left,
+        "n_right": n_right,
+        "n_edges": len(edges),
+        "skew_left": skew_left,
+        "skew_right": skew_right,
+        "seed": seed,
+    }
+    return Workload(name, db, entity_weights, meta)
+
+
+def make_dblp_like(scale: float = 1.0, *, seed: int = 0) -> Workload:
+    """DBLP-like author-paper graph (moderate skew, sparse)."""
+    return make_bipartite_workload(
+        "dblp-like",
+        n_left=int(800 * scale),
+        n_right=int(1200 * scale),
+        n_edges=int(4000 * scale),
+        skew_left=1.05,
+        skew_right=0.9,
+        seed=seed,
+    )
+
+
+def make_imdb_like(scale: float = 1.0, *, seed: int = 1) -> Workload:
+    """IMDB-like person-movie graph (denser, more skewed than DBLP —
+    the paper's IMDB joins blow up much harder)."""
+    return make_bipartite_workload(
+        "imdb-like",
+        n_left=int(700 * scale),
+        n_right=int(500 * scale),
+        n_edges=int(5000 * scale),
+        skew_left=1.25,
+        skew_right=1.1,
+        seed=seed,
+    )
+
+
+def make_memetracker_like(scale: float = 1.0, *, seed: int = 2) -> Workload:
+    """Memetracker-like user-meme graph: the heaviest duplication (the
+    paper attributes its rapidly growing priority queues to this)."""
+    return make_bipartite_workload(
+        "memetracker-like",
+        n_left=int(1200 * scale),
+        n_right=int(500 * scale),
+        n_edges=int(9000 * scale),
+        skew_left=1.45,
+        skew_right=1.25,
+        seed=seed,
+    )
+
+
+def make_friendster_like(scale: float = 1.0, *, seed: int = 3) -> Workload:
+    """Friendster-like user-group graph (large, skewed)."""
+    return make_bipartite_workload(
+        "friendster-like",
+        n_left=int(1800 * scale),
+        n_right=int(600 * scale),
+        n_edges=int(10000 * scale),
+        skew_left=1.3,
+        skew_right=1.15,
+        seed=seed,
+    )
+
+
+def make_ldbc_like(sf: float = 10.0, *, seed: int = 4) -> Workload:
+    """LDBC-SNB-like social network scaling linearly in ``sf``.
+
+    Relations: ``K(p1, p2)`` person-knows-person, ``P(person, post)``
+    person-interacted-with-post.  The Figure 9 experiment sweeps ``sf``
+    and expects linear runtime growth of the UCQ enumerators.
+    """
+    if sf <= 0:
+        raise WorkloadError(f"scale factor must be positive, got {sf}")
+    n_persons = int(60 * sf)
+    n_posts = int(90 * sf)
+    knows = power_law_graph(n_persons, int(260 * sf), skew=1.15, seed=seed)
+    interactions = zipf_bipartite(
+        n_persons, n_posts, int(220 * sf), skew_left=1.1, skew_right=0.9, seed=seed + 1
+    )
+    db = Database()
+    k_rel = db.add_relation("K", ("p1", "p2"), knows)
+    db.add_relation("P", ("person", "post"), interactions)
+    entity_weights = {
+        "random": {
+            "person": random_weights(range(n_persons), seed=seed + 2),
+            "post": random_weights(range(n_posts), seed=seed + 3),
+        },
+        "log": {
+            "person": {
+                **{v: 0.0 for v in range(n_persons)},
+                **log_degree_weights(k_rel, "p1"),
+            },
+            "post": {v: 0.0 for v in range(n_posts)},
+        },
+    }
+    meta = {"sf": sf, "n_persons": n_persons, "n_posts": n_posts, "seed": seed}
+    return Workload(f"ldbc-like-sf{sf:g}", db, entity_weights, meta)

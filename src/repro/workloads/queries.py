@@ -1,0 +1,257 @@
+"""The paper's evaluation queries as reusable builders (Figures 4, 11, 13).
+
+Every builder returns a :class:`QuerySpec`: the query object plus the
+entity kind of each head variable, which is what connects head variables
+to the dataset's entity weight tables (e.g. both endpoints of
+``DBLP2hop`` are *authors*, the endpoints of ``DBLP3hop`` are an author
+and a paper).
+
+Path/star shapes over a bipartite edge relation ``E(a, p)``:
+
+* ``two_hop``    — ``π_{a1,a2}(E(a1,p) ⋈ E(a2,p))`` (DBLP2hop/IMDB2hop);
+* ``three_hop``  — ``π_{a1,p2}(E(a1,p1) ⋈ E(a2,p1) ⋈ E(a2,p2))``;
+* ``four_hop``   — ``π_{a1,a3}`` of the 4-step alternation;
+* ``star``       — ``Q*_m``: ``π_{a1..am}(E(a1,p) ⋈ ... ⋈ E(am,p))``.
+
+Cyclic shapes (Figure 13): bipartite 4/6/8-cycles and the bowtie (two
+4-cycles sharing an endpoint), plus the general ``n``-cycle and butterfly
+over distinct binary relations (Figure 2 / Example 6).
+
+LDBC-like UCQs: union-of-CQ neighbourhood analyses standing in for the
+benchmark's Q3/Q10/Q11 (each is a UNION of ranked neighbourhood CQs —
+see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from ..query.query import Atom, JoinProjectQuery, UnionQuery
+
+__all__ = [
+    "QuerySpec",
+    "two_hop",
+    "three_hop",
+    "four_hop",
+    "star",
+    "path",
+    "bipartite_cycle",
+    "bowtie",
+    "general_cycle",
+    "butterfly",
+    "ldbc_q3_like",
+    "ldbc_q10_like",
+    "ldbc_q11_like",
+]
+
+
+class QuerySpec:
+    """A query plus the entity kind of each head variable.
+
+    Attributes
+    ----------
+    name:
+        Paper-style label ("DBLP2hop", "four cycle", ...).
+    query:
+        The :class:`JoinProjectQuery` or :class:`UnionQuery`.
+    var_entities:
+        ``head variable -> entity kind`` ("left"/"right" for bipartite
+        edges, or dataset-specific kinds like "person").
+    """
+
+    __slots__ = ("name", "query", "var_entities")
+
+    def __init__(self, name: str, query, var_entities: dict[str, str]):
+        self.name = name
+        self.query = query
+        self.var_entities = dict(var_entities)
+        for v in query.head:
+            if v not in self.var_entities:
+                raise WorkloadError(f"head variable {v!r} has no entity kind")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QuerySpec({self.name}: {self.query!r})"
+
+
+def two_hop(edge: str = "E") -> QuerySpec:
+    """2-hop co-occurrence pairs (DBLP2hop / IMDB2hop / 2-neighbourhood)."""
+    q = JoinProjectQuery(
+        [Atom(edge, ("a1", "p")), Atom(edge, ("a2", "p"))],
+        head=("a1", "a2"),
+        name=f"{edge}2hop",
+    )
+    return QuerySpec(q.name, q, {"a1": "left", "a2": "left"})
+
+
+def three_hop(edge: str = "E") -> QuerySpec:
+    """3-hop reachable (left, right) pairs (DBLP3hop)."""
+    q = JoinProjectQuery(
+        [
+            Atom(edge, ("a1", "p1")),
+            Atom(edge, ("a2", "p1")),
+            Atom(edge, ("a2", "p2")),
+        ],
+        head=("a1", "p2"),
+        name=f"{edge}3hop",
+    )
+    return QuerySpec(q.name, q, {"a1": "left", "p2": "right"})
+
+
+def four_hop(edge: str = "E") -> QuerySpec:
+    """4-hop reachable (left, left) pairs (DBLP4hop)."""
+    q = JoinProjectQuery(
+        [
+            Atom(edge, ("a1", "p1")),
+            Atom(edge, ("a2", "p1")),
+            Atom(edge, ("a2", "p2")),
+            Atom(edge, ("a3", "p2")),
+        ],
+        head=("a1", "a3"),
+        name=f"{edge}4hop",
+    )
+    return QuerySpec(q.name, q, {"a1": "left", "a3": "left"})
+
+
+def star(m: int, edge: str = "E") -> QuerySpec:
+    """The star query ``Q*_m`` (DBLP3star is ``m = 3``)."""
+    if m < 2:
+        raise WorkloadError(f"star queries need m >= 2, got {m}")
+    q = JoinProjectQuery(
+        [Atom(edge, (f"a{i}", "p")) for i in range(1, m + 1)],
+        head=tuple(f"a{i}" for i in range(1, m + 1)),
+        name=f"{edge}{m}star",
+    )
+    return QuerySpec(q.name, q, {f"a{i}": "left" for i in range(1, m + 1)})
+
+
+def path(hops: int, edge: str = "E") -> QuerySpec:
+    """Generic ``hops``-step alternating path with endpoint projection."""
+    if hops < 1:
+        raise WorkloadError(f"need at least one hop, got {hops}")
+    # Alternate E(a1,p1), E(a2,p1), E(a2,p2), E(a3,p2), ...
+    atoms: list[Atom] = []
+    for step in range(hops):
+        a_index = step // 2 + 1 if step % 2 == 0 else step // 2 + 2
+        atoms.append(Atom(edge, (f"a{a_index}", f"p{step // 2 + 1}")))
+    if hops % 2 == 0:
+        head = ("a1", f"a{hops // 2 + 1}")
+        kinds = {"a1": "left", f"a{hops // 2 + 1}": "left"}
+    else:
+        head = ("a1", f"p{(hops + 1) // 2}")
+        kinds = {"a1": "left", f"p{(hops + 1) // 2}": "right"}
+    q = JoinProjectQuery(atoms, head=head, name=f"{edge}{hops}hop")
+    return QuerySpec(q.name, q, kinds)
+
+
+def bipartite_cycle(n: int, edge: str = "E") -> QuerySpec:
+    """A ``2n``-atom cycle in the bipartite graph (Figure 13's 4/6/8 cycles
+    use ``n = 2, 3, 4``): ``a1-p1-a2-p2-...-an-pn-a1``."""
+    if n < 2:
+        raise WorkloadError(f"bipartite cycles need n >= 2 left entities, got {n}")
+    atoms: list[Atom] = []
+    for i in range(1, n + 1):
+        atoms.append(Atom(edge, (f"a{i}", f"p{i}")))
+        nxt = i + 1 if i < n else 1
+        atoms.append(Atom(edge, (f"a{nxt}", f"p{i}")))
+    if n == 3:
+        # The paper's six-cycle projects an (author, paper) pair.
+        head = ("a1", "p2")
+        kinds = {"a1": "left", "p2": "right"}
+    else:
+        head = ("a1", f"a{n // 2 + 1}")
+        kinds = {"a1": "left", f"a{n // 2 + 1}": "left"}
+    label = {2: "four cycle", 3: "six cycle", 4: "eight cycle"}.get(n, f"{2*n} cycle")
+    q = JoinProjectQuery(atoms, head=head, name=label)
+    return QuerySpec(label, q, kinds)
+
+
+def bowtie(edge: str = "E") -> QuerySpec:
+    """The paper's bowtie (Appendix G.3): two *eight-cycles* joined at a
+    common left entity — ``π_{a1,a3}(V(a1,a2) ⋈ V(a2,a3))`` where ``V``
+    is the eight-cycle co-author-of-co-author view.  This is why the
+    bowtie is the most expensive cyclic query in Figure 10.
+    """
+
+    def cycle_atoms(a_names: list[str], p_prefix: str) -> list[Atom]:
+        atoms: list[Atom] = []
+        n = len(a_names)
+        for i in range(n):
+            atoms.append(Atom(edge, (a_names[i], f"{p_prefix}{i + 1}")))
+            atoms.append(Atom(edge, (a_names[(i + 1) % n], f"{p_prefix}{i + 1}")))
+        return atoms
+
+    # Eight-cycle #1 over a1..a4; eight-cycle #2 shares its first entity
+    # with #1's opposite corner (a3 == b1).
+    left = cycle_atoms(["a1", "a2", "a3", "a4"], "p")
+    right = cycle_atoms(["a3", "b2", "b3", "b4"], "q")
+    q = JoinProjectQuery(left + right, head=("a1", "b3"), name="bowtie")
+    return QuerySpec("bowtie", q, {"a1": "left", "b3": "left"})
+
+
+def general_cycle(n: int, prefix: str = "R") -> QuerySpec:
+    """The ``n``-cycle over distinct binary relations (paper Figure 2):
+    ``R1(x1,x2) ⋈ R2(x2,x3) ⋈ ... ⋈ Rn(xn,x1)``, head ``(x1, x_{n/2+1})``."""
+    if n < 3:
+        raise WorkloadError(f"general cycles need n >= 3, got {n}")
+    atoms = [
+        Atom(f"{prefix}{i}", (f"x{i}", f"x{i % n + 1}")) for i in range(1, n + 1)
+    ]
+    head = ("x1", f"x{n // 2 + 1}")
+    q = JoinProjectQuery(atoms, head=head, name=f"{n}-cycle")
+    return QuerySpec(q.name, q, {head[0]: "node", head[1]: "node"})
+
+
+def butterfly(prefix: str = "R") -> QuerySpec:
+    """Example 6's butterfly: ``π_{A,C}(R1(A,B) ⋈ R2(B,C) ⋈ R3(C,D) ⋈ R4(D,A))``."""
+    atoms = [
+        Atom(f"{prefix}1", ("A", "B")),
+        Atom(f"{prefix}2", ("B", "C")),
+        Atom(f"{prefix}3", ("C", "D")),
+        Atom(f"{prefix}4", ("D", "A")),
+    ]
+    q = JoinProjectQuery(atoms, head=("A", "C"), name="butterfly")
+    return QuerySpec("butterfly", q, {"A": "node", "C": "node"})
+
+
+# --------------------------------------------------------------------- #
+# LDBC-like UCQs (scalability workload, Figure 9)
+# --------------------------------------------------------------------- #
+def ldbc_q3_like(knows: str = "K", posts: str = "P") -> QuerySpec:
+    """Q3-like: ranked pairs reachable through a shared friend OR a shared
+    post interaction (multi-source neighbourhood union)."""
+    q1 = JoinProjectQuery(
+        [Atom(knows, ("x", "z")), Atom(knows, ("y", "z"))],
+        head=("x", "y"),
+        name="q3a",
+    )
+    q2 = JoinProjectQuery(
+        [Atom(posts, ("x", "m")), Atom(posts, ("y", "m"))],
+        head=("x", "y"),
+        name="q3b",
+    )
+    u = UnionQuery([q1, q2], name="Q3")
+    return QuerySpec("Q3", u, {"x": "person", "y": "person"})
+
+
+def ldbc_q10_like(knows: str = "K", posts: str = "P") -> QuerySpec:
+    """Q10-like: ranked (person, content) pairs one hop beyond a friend,
+    OR directly interacted with."""
+    q1 = JoinProjectQuery(
+        [Atom(knows, ("x", "f")), Atom(posts, ("f", "m"))],
+        head=("x", "m"),
+        name="q10a",
+    )
+    q2 = JoinProjectQuery([Atom(posts, ("x", "m"))], head=("x", "m"), name="q10b")
+    u = UnionQuery([q1, q2], name="Q10")
+    return QuerySpec("Q10", u, {"x": "person", "m": "post"})
+
+
+def ldbc_q11_like(knows: str = "K") -> QuerySpec:
+    """Q11-like: ranked friend and friend-of-friend pairs."""
+    q1 = JoinProjectQuery([Atom(knows, ("x", "y"))], head=("x", "y"), name="q11a")
+    q2 = JoinProjectQuery(
+        [Atom(knows, ("x", "f")), Atom(knows, ("f", "y"))],
+        head=("x", "y"),
+        name="q11b",
+    )
+    u = UnionQuery([q1, q2], name="Q11")
+    return QuerySpec("Q11", u, {"x": "person", "y": "person"})

@@ -1,0 +1,62 @@
+"""Weight assignment schemes (paper §6.1.1).
+
+The paper attaches a weight to every entity in two ways:
+
+* **random** — uniformly drawn values;
+* **logarithmic** — ``w(v) = log2(1 + deg(v))`` where ``deg`` is the
+  entity's degree in the edge relation (following [40]).
+
+Both schemes are reproduced here as seeded dict builders, plus the glue
+that turns entity-weight tables into a
+:class:`~repro.core.ranking.TableWeight` for a concrete query's head
+variables.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Mapping
+
+from ..core.ranking import TableWeight
+from ..data.relation import Relation
+
+__all__ = [
+    "random_weights",
+    "log_degree_weights",
+    "table_weight_for_vars",
+]
+
+
+def random_weights(
+    values: Iterable, *, seed: int = 0, low: int = 0, high: int = 1_000_000
+) -> dict:
+    """Uniform random weight per value (the paper's "random" scheme).
+
+    Weights are *integers* so that SUM keys are exact and associative:
+    different algorithms accumulate partial sums in different orders
+    (join-tree order vs head order), and float rounding would otherwise
+    perturb tie-breaking between them by an ulp.
+    """
+    rng = random.Random(seed)
+    return {v: rng.randint(low, high) for v in values}
+
+
+def log_degree_weights(relation: Relation, attr: str) -> dict:
+    """``w(v) = log2(1 + deg(v))`` over one column of an edge relation
+    (the paper's "logarithmic" scheme)."""
+    pos = relation.position(attr)
+    degrees: dict = {}
+    for row in relation.tuples:
+        v = row[pos]
+        degrees[v] = degrees.get(v, 0) + 1
+    return {v: math.log2(1 + d) for v, d in degrees.items()}
+
+
+def table_weight_for_vars(
+    var_tables: Mapping[str, Mapping], *, default: float | None = None
+) -> TableWeight:
+    """Build a :class:`TableWeight` mapping each head variable to its
+    entity weight table (e.g. both endpoints of a 2-hop query to the
+    author table)."""
+    return TableWeight({v: dict(t) for v, t in var_tables.items()}, default=default)

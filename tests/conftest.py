@@ -1,0 +1,40 @@
+"""Shared fixtures: the paper's running example and random-instance helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data import Database
+from repro.query import parse_query
+
+
+@pytest.fixture
+def paper_db() -> Database:
+    """The exact instance of the paper's Example 4 (4-path query)."""
+    db = Database()
+    db.add_relation("R1", ("a", "b"), [(1, 1), (2, 1), (1, 2), (3, 2)])
+    db.add_relation("R2", ("b", "c"), [(1, 1), (2, 1)])
+    db.add_relation("R3", ("c", "d"), [(1, 1), (1, 2)])
+    db.add_relation("R4", ("d", "e"), [(1, 1), (1, 2)])
+    return db
+
+
+@pytest.fixture
+def paper_query():
+    """The paper's Example 2 query: π_{A,E}(R1 ⋈ R2 ⋈ R3 ⋈ R4)."""
+    return parse_query("Q(a, e) :- R1(a, b), R2(b, c), R3(c, d), R4(d, e)")
+
+
+def random_db_for(query, rng: random.Random, *, max_rows: int = 10, domain: int = 4) -> Database:
+    """A random database matching a query's relation schemas."""
+    db = Database()
+    for rname in sorted({a.relation for a in query.atoms}):
+        arity = len(next(a for a in query.atoms if a.relation == rname).variables)
+        rows = [
+            tuple(rng.randint(0, domain) for _ in range(arity))
+            for _ in range(rng.randint(0, max_rows))
+        ]
+        db.add_relation(rname, tuple(f"c{i}" for i in range(arity)), rows)
+    return db

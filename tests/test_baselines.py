@@ -1,0 +1,143 @@
+"""Tests for the engine-style, BFS+sort, and Algorithm 6 baselines."""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    BfsSortBaseline,
+    EngineBaseline,
+    FullQueryRankedBaseline,
+)
+from repro.algorithms.naive import ranked_output, ranked_union_output
+from repro.core.ranking import LexRanking, SumRanking
+from repro.data import Database
+from repro.errors import QueryError
+from repro.query import parse_query
+
+from conftest import random_db_for
+
+SHAPES = [
+    "Q(a1, a2) :- R(a1, p), R(a2, p)",
+    "Q(x, w) :- R(x, y), S(y, z), T(z, w)",
+    "Q(a, e) :- R1(a,b), R2(b,c), R3(c,d), R4(d,e)",
+]
+
+
+class TestAgreementWithOracle:
+    @pytest.mark.parametrize("cls", [EngineBaseline, BfsSortBaseline, FullQueryRankedBaseline])
+    @pytest.mark.parametrize("ranking_factory", [SumRanking, LexRanking])
+    def test_matches_oracle(self, cls, ranking_factory):
+        rng = random.Random(7)
+        for _ in range(25):
+            q = parse_query(rng.choice(SHAPES))
+            db = random_db_for(q, rng)
+            ranking = ranking_factory()
+            expected = ranked_output(q, db, ranking)
+            got = [(a.values, a.score) for a in cls(q, db, ranking)]
+            assert got == expected
+
+
+class TestEngineBaseline:
+    def test_rank_agnostic_materialisation(self, paper_query, paper_db):
+        # The paper's Figure 6 observation: engines do identical join work
+        # for SUM and LEX; only the final sort key differs.
+        runs = []
+        for ranking in (SumRanking(), LexRanking()):
+            baseline = EngineBaseline(paper_query, paper_db, ranking).preprocess()
+            runs.append(baseline.intermediate_tuples)
+        assert runs[0] == runs[1] > 0
+
+    def test_k_agnostic_cost(self, paper_query, paper_db):
+        # top-1 already pays the full materialisation.
+        baseline = EngineBaseline(paper_query, paper_db)
+        baseline.top_k(1)
+        assert baseline.intermediate_tuples > 0
+
+    def test_join_order_hint_same_result(self, paper_query, paper_db):
+        expected = [a.values for a in EngineBaseline(paper_query, paper_db)]
+        for order in (
+            ["R4", "R3", "R2", "R1"],
+            ["R2", "R1", "R3", "R4"],
+        ):
+            got = [
+                a.values
+                for a in EngineBaseline(paper_query, paper_db, join_order=order)
+            ]
+            assert got == expected
+
+    def test_invalid_join_order_rejected(self, paper_query, paper_db):
+        with pytest.raises(QueryError):
+            EngineBaseline(paper_query, paper_db, join_order=["R1"]).preprocess()
+
+    def test_memory_limit_enforced(self):
+        # A join designed to blow up: 20 x 20 pairs through one hub value.
+        db = Database.from_dict(
+            {"R": (("a", "b"), [(i, 0) for i in range(20)])}
+        )
+        q = parse_query("Q(a1, a2) :- R(a1, p), R(a2, p)")
+        baseline = EngineBaseline(q, db, memory_limit_tuples=100)
+        with pytest.raises(MemoryError):
+            baseline.preprocess()
+
+    def test_union_support(self):
+        union = parse_query("Q(x) :- R(x, y) ; Q(x) :- S(x, y)")
+        db = Database.from_dict(
+            {"R": (("a", "b"), [(2, 0)]), "S": (("a", "b"), [(1, 0)])}
+        )
+        got = [(a.values, a.score) for a in EngineBaseline(union, db)]
+        assert got == ranked_union_output(union, db)
+
+    def test_intermediate_accounting(self, paper_query, paper_db):
+        baseline = EngineBaseline(paper_query, paper_db).preprocess()
+        assert baseline.peak_intermediate <= baseline.intermediate_tuples
+
+
+class TestBfsSortBaseline:
+    def test_output_size_recorded(self, paper_query, paper_db):
+        baseline = BfsSortBaseline(paper_query, paper_db).preprocess()
+        assert baseline.output_size == 6
+
+    def test_never_materialises_full_join(self):
+        # Distinct output is tiny even though the full join is 400 tuples.
+        db = Database.from_dict({"R": (("a", "b"), [(i, 0) for i in range(20)])})
+        q = parse_query("Q(a1, a1b) :- R(a1, p), R(a1b, p)")
+        baseline = BfsSortBaseline(q, db).preprocess()
+        assert baseline.output_size == 400  # all pairs are distinct here
+        answers = baseline.all()
+        assert len(answers) == 400
+
+
+class TestAlgorithm6:
+    def test_duplicate_consumption_counted(self):
+        # Appendix B instance: ell relations sharing one hub; the smallest
+        # projected answer is backed by N^(ell-1) full results.
+        n, ell = 8, 3
+        db = Database()
+        for i in range(1, ell + 1):
+            db.add_relation(f"R{i}", ("x", "y"), [(x, 0) for x in range(n)])
+        body = ", ".join(f"R{i}(x{i}, y)" for i in range(1, ell + 1))
+        q = parse_query(f"Q(x1) :- {body}")
+        baseline = FullQueryRankedBaseline(q, db)
+        answers = baseline.all()
+        assert len(answers) == n
+        assert baseline.full_results_consumed == n**ell
+
+    def test_no_duplicate_outputs_on_score_ties(self):
+        # Zero-weight interleaving hazard: two projected values share the
+        # same sum; the composite LEX tie-break must keep them adjacent.
+        db = Database.from_dict(
+            {
+                "R": (("a", "b"), [(1, 10), (1, 20), (2, 10), (2, 20)]),
+                "S": (("b", "c"), [(10, 5), (20, 6)]),
+            }
+        )
+        q = parse_query("Q(x) :- R(x, y), S(y, z)")
+        got = [a.values for a in FullQueryRankedBaseline(q, db)]
+        assert got == [(1,), (2,)]
+
+    def test_fresh(self, paper_query, paper_db):
+        baseline = FullQueryRankedBaseline(paper_query, paper_db)
+        a = [x.values for x in baseline.all()]
+        b = [x.values for x in baseline.fresh().all()]
+        assert a == b

@@ -1,0 +1,77 @@
+"""Tests for the benchmark harness and reporting."""
+
+from repro.bench import (
+    Measurement,
+    format_kv,
+    format_table,
+    measure_phases,
+    measurements_table,
+    series,
+    sweep,
+    time_top_k,
+)
+from repro.core import AcyclicRankedEnumerator
+from repro.data import Database
+from repro.query import parse_query
+
+
+def make_factory():
+    db = Database.from_dict({"R": (("a", "b"), [(1, 10), (2, 10), (3, 20)])})
+    q = parse_query("Q(a1, a2) :- R(a1, p), R(a2, p)")
+    return lambda: AcyclicRankedEnumerator(q, db)
+
+
+class TestHarness:
+    def test_time_top_k(self):
+        m = time_top_k(make_factory(), 3, label="lin")
+        assert m.algorithm == "lin"
+        assert m.k == 3
+        assert m.answers == 3
+        assert m.seconds >= 0
+        assert "peak_pq_entries" in m.extras
+
+    def test_time_all(self):
+        m = time_top_k(make_factory(), None)
+        assert m.answers == 5  # 4 pairs via p=10 plus (3,3)
+
+    def test_sweep_covers_grid(self):
+        ms = sweep({"a": make_factory(), "b": make_factory()}, [1, 2], repeats=2)
+        assert len(ms) == 4
+        assert {(m.algorithm, m.k) for m in ms} == {("a", 1), ("a", 2), ("b", 1), ("b", 2)}
+
+    def test_measure_phases(self):
+        m = measure_phases(make_factory(), 2, label="lin")
+        assert "phase_preprocess_seconds" in m.extras
+        assert "phase_enumerate_seconds" in m.extras
+        assert m.answers == 2
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table("T", ["x", "y"], [[1, 2.5], ["ab", 0.001234]], note="n")
+        assert "== T ==" in text
+        assert "ab" in text
+        assert "(n)" in text
+
+    def test_measurements_table_pivots(self):
+        ms = [
+            Measurement("lin", 10, 0.5, 10),
+            Measurement("lin", 100, 0.6, 100),
+            Measurement("engine", 10, 2.0, 10),
+            Measurement("engine", 100, 2.0, 100),
+        ]
+        text = measurements_table("Fig", ms)
+        assert "lin (s)" in text and "engine (s)" in text
+        assert text.count("\n") >= 3
+
+    def test_measurements_table_all_row(self):
+        ms = [Measurement("lin", None, 0.5, 42)]
+        assert "ALL" in measurements_table("Fig", ms)
+
+    def test_series(self):
+        ms = [Measurement("lin", 10, 0.5, 10), Measurement("lin", 100, 0.7, 100)]
+        s = series(ms)
+        assert s == {"lin": [(10, 0.5), (100, 0.7)]}
+
+    def test_format_kv(self):
+        assert "|D|" in format_kv("stats", {"|D|": 10})

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs end-to-end and prints output."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "coauthor_topk.py",
+    "star_tradeoff.py",
+    "cyclic_motifs.py",
+    "union_neighbourhoods.py",
+    "csv_and_cli.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    assert os.path.exists(path), path
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out.strip()) > 0
+
+
+def test_quickstart_output_content(capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    # The heaviest pair must be ada+ada (h-index 80) under DESC sum.
+    assert "ada" in out
+    assert "Top-5" in out

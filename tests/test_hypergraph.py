@@ -1,0 +1,101 @@
+"""Unit tests for GYO reduction and hypergraph machinery."""
+
+from repro.query import Hypergraph, gyo_reduction, parse_query
+
+
+def hg(text: str) -> Hypergraph:
+    return Hypergraph(parse_query(text).edge_map())
+
+
+class TestAcyclicity:
+    def test_single_edge(self):
+        assert hg("Q(x) :- R(x, y)").is_acyclic()
+
+    def test_path_is_acyclic(self):
+        assert hg("Q(a) :- R1(a,b), R2(b,c), R3(c,d)").is_acyclic()
+
+    def test_star_is_acyclic(self):
+        assert hg("Q(x) :- R(x1,b), R(x2,b), R(x3,b), R(x,b)").is_acyclic()
+
+    def test_triangle_is_cyclic(self):
+        assert not hg("Q(x) :- R(x,y), S(y,z), T(z,x)").is_acyclic()
+
+    def test_four_cycle_is_cyclic(self):
+        assert not hg("Q(a) :- R1(a,b), R2(b,c), R3(c,d), R4(d,a)").is_acyclic()
+
+    def test_triangle_with_covering_edge_is_acyclic(self):
+        # Adding an edge that covers the triangle makes it α-acyclic.
+        h = Hypergraph(
+            {
+                "R": {"x", "y"},
+                "S": {"y", "z"},
+                "T": {"z", "x"},
+                "U": {"x", "y", "z"},
+            }
+        )
+        assert h.is_acyclic()
+
+    def test_cartesian_product_is_acyclic(self):
+        assert hg("Q(x) :- R(x, y), S(u, v)").is_acyclic()
+
+    def test_identical_edges(self):
+        # Self-join with the same variables: two identical hyperedges.
+        assert hg("Q(x) :- R(x, y), S(x, y)").is_acyclic()
+
+    def test_empty_hypergraph(self):
+        assert Hypergraph({}).is_acyclic()
+
+    def test_bowtie_shape_cyclic(self):
+        q = parse_query(
+            "Q(a, b) :- E(c,p1), E(a,p1), E(a,p2), E(c,p2), "
+            "E(c,q1), E(b,q1), E(b,q2), E(c,q2)"
+        )
+        assert not Hypergraph(q.edge_map()).is_acyclic()
+
+
+class TestWitness:
+    def test_witness_covers_all_but_survivor(self):
+        h = hg("Q(a) :- R1(a,b), R2(b,c), R3(c,d)")
+        result = gyo_reduction(h)
+        assert result.acyclic
+        removed = {a for a, _b in result.witness}
+        assert len(removed) == 2
+        assert result.survivor not in removed
+
+    def test_witness_forms_connected_tree(self):
+        q = parse_query("Q(a1) :- R(a1,p), R(a2,p), R(a3,p)")
+        result = gyo_reduction(Hypergraph(q.edge_map()))
+        assert result.acyclic
+        nodes = {a.alias for a in q.atoms}
+        adj = {n: set() for n in nodes}
+        for a, b in result.witness:
+            adj[a].add(b)
+            adj[b].add(a)
+        # connectivity
+        seen = {result.survivor}
+        stack = [result.survivor]
+        while stack:
+            x = stack.pop()
+            for y in adj[x]:
+                if y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+        assert seen == nodes
+
+    def test_cyclic_has_no_survivor(self):
+        result = gyo_reduction(hg("Q(x) :- R(x,y), S(y,z), T(z,x)"))
+        assert not result.acyclic
+        assert result.survivor is None
+
+
+class TestPrimalGraph:
+    def test_adjacency(self):
+        h = hg("Q(x) :- R(x, y), S(y, z)")
+        g = h.primal_graph()
+        assert g["y"] == {"x", "z"}
+        assert g["x"] == {"y"}
+
+    def test_vertices_and_incident(self):
+        h = hg("Q(x) :- R(x, y), S(y, z)")
+        assert h.vertices == frozenset({"x", "y", "z"})
+        assert set(h.incident_edges("y")) == {"R", "S"}

@@ -1,0 +1,120 @@
+"""Unit tests for join-tree construction (paper §2, Figure 1)."""
+
+import pytest
+
+from repro.errors import CyclicQueryError, QueryError
+from repro.query import build_join_tree, parse_query
+
+
+class TestPaperFigure1:
+    """The paper's Example 2 / Figure 1: the 4-path query rooted at R3."""
+
+    @pytest.fixture
+    def tree(self, paper_query):
+        return build_join_tree(paper_query, root="R3")
+
+    def test_root_and_structure(self, tree):
+        assert tree.root.alias == "R3"
+        children = [c.alias for c in tree.root.children]
+        assert sorted(children) == ["R2", "R4"]
+        r2 = tree.node("R2")
+        assert [c.alias for c in r2.children] == ["R1"]
+
+    def test_anchors_match_figure(self, tree):
+        assert tree.node("R1").anchor == ("b",)
+        assert tree.node("R2").anchor == ("c",)
+        assert tree.node("R4").anchor == ("d",)
+        assert tree.node("R3").anchor == ()
+
+    def test_ownership(self, tree):
+        assert tree.node("R1").own_head_vars == ("a",)
+        assert tree.node("R4").own_head_vars == ("e",)
+        assert tree.node("R2").own_head_vars == ()
+        assert tree.node("R3").own_head_vars == ()
+
+    def test_subtree_head_vars(self, tree):
+        # A^π_1 = {A}, A^π_2 = {A}, A^π_4 = {E}, root covers (A, E).
+        assert tree.node("R1").subtree_head_vars == ("a",)
+        assert tree.node("R2").subtree_head_vars == ("a",)
+        assert tree.node("R4").subtree_head_vars == ("e",)
+        assert set(tree.output_order) == {"a", "e"}
+
+    def test_depth_and_len(self, tree):
+        assert len(tree) == 4
+        assert tree.depth() == 3
+
+    def test_post_order_children_first(self, tree):
+        order = [n.alias for n in tree.post_order()]
+        assert order.index("R1") < order.index("R2")
+        assert order[-1] == "R3"
+
+    def test_pre_order_parents_first(self, tree):
+        order = [n.alias for n in tree.pre_order()]
+        assert order[0] == "R3"
+        assert order.index("R2") < order.index("R1")
+
+
+class TestConstruction:
+    def test_cyclic_query_rejected(self):
+        q = parse_query("Q(x, y) :- R(x,y), S(y,z), T(z,x)")
+        with pytest.raises(CyclicQueryError):
+            build_join_tree(q)
+
+    def test_unknown_root_rejected(self, paper_query):
+        with pytest.raises(QueryError):
+            build_join_tree(paper_query, root="nope")
+
+    def test_single_atom(self):
+        q = parse_query("Q(x) :- R(x, y)")
+        tree = build_join_tree(q)
+        assert len(tree) == 1
+        assert tree.root.is_leaf and tree.root.is_root
+
+    def test_any_root_valid(self, paper_query):
+        for root in ("R1", "R2", "R3", "R4"):
+            tree = build_join_tree(paper_query, root=root)
+            assert tree.root.alias == root
+            assert len(tree) == 4  # running intersection verified internally
+
+    def test_rerooted_preserves_nodes(self, paper_query):
+        tree = build_join_tree(paper_query, root="R3")
+        tree2 = tree.rerooted("R1")
+        assert tree2.root.alias == "R1"
+        assert {n.alias for n in tree2.nodes} == {n.alias for n in tree.nodes}
+
+    def test_self_join_star(self):
+        q = parse_query("Q(x1, x2, x3) :- R(x1,b), R(x2,b), R(x3,b)")
+        tree = build_join_tree(q)
+        assert len(tree) == 3
+
+    def test_cartesian_product_tree(self):
+        q = parse_query("Q(x, u) :- R(x, y), S(u, v)")
+        tree = build_join_tree(q)
+        assert len(tree) == 2
+        # anchor between disconnected atoms is empty
+        non_root = next(n for n in tree.nodes if not n.is_root)
+        assert non_root.anchor == ()
+
+
+class TestPruning:
+    def test_filter_tail_pruned(self):
+        # T(z, w) carries no projection variable: a pure filter.
+        q = parse_query("Q(x) :- R(x, y), S(y, z), T(z, w)")
+        tree = build_join_tree(q, root="R")
+        pruned, dropped = tree.pruned()
+        assert set(dropped) == {"S", "T"} or set(dropped) == {"T"}
+        assert "R" in {n.alias for n in pruned.nodes}
+
+    def test_nothing_to_prune(self, paper_query):
+        tree = build_join_tree(paper_query, root="R3")
+        pruned, dropped = tree.pruned()
+        assert dropped == []
+        assert pruned is tree
+
+    def test_prune_keeps_path_to_owner(self):
+        # S owns nothing itself but carries the subtree containing w.
+        q = parse_query("Q(x, w) :- R(x, y), S(y, z), T(z, w)")
+        tree = build_join_tree(q, root="R")
+        pruned, dropped = tree.pruned()
+        assert dropped == []
+        assert len(pruned) == 3

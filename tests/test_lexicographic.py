@@ -1,0 +1,112 @@
+"""Tests for the lexicographic backtracking enumerator (Algorithm 3)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.naive import ranked_output
+from repro.core import LexBacktrackEnumerator
+from repro.core.ranking import LexRanking, TableWeight
+from repro.data import Database
+from repro.errors import QueryError, RankingError
+from repro.query import parse_query
+
+from conftest import random_db_for
+
+SHAPES = [
+    "Q(a1, a2) :- R(a1, p), R(a2, p)",
+    "Q(x, w) :- R(x, y), S(y, z), T(z, w)",
+    "Q(a, c, e) :- R1(a,b), R2(b,c), R3(c,d), R4(d,e)",
+    "Q(x1, x2, x3) :- R(x1, b), R(x2, b), R(x3, b)",
+]
+
+
+class TestCorrectness:
+    def test_matches_oracle_head_order(self):
+        rng = random.Random(31)
+        for _ in range(40):
+            q = parse_query(rng.choice(SHAPES))
+            db = random_db_for(q, rng)
+            expected = [v for v, _ in ranked_output(q, db, LexRanking())]
+            got = [a.values for a in LexBacktrackEnumerator(q, db)]
+            assert got == expected
+
+    def test_custom_order(self):
+        rng = random.Random(32)
+        for _ in range(25):
+            q = parse_query("Q(x, w) :- R(x, y), S(y, z), T(z, w)")
+            db = random_db_for(q, rng)
+            order = ("w", "x")
+            expected = [v for v, _ in ranked_output(q, db, LexRanking(order))]
+            got = [a.values for a in LexBacktrackEnumerator(q, db, order=order)]
+            assert got == expected
+
+    def test_descending_attribute(self):
+        rng = random.Random(33)
+        for _ in range(25):
+            q = parse_query("Q(a1, a2) :- R(a1, p), R(a2, p)")
+            db = random_db_for(q, rng)
+            expected = [
+                v for v, _ in ranked_output(q, db, LexRanking(descending=("a1",)))
+            ]
+            got = [
+                a.values
+                for a in LexBacktrackEnumerator(q, db, descending=("a1",))
+            ]
+            assert got == expected
+
+    def test_weighted_order(self):
+        db = Database.from_dict({"R": (("a", "b"), [(1, 9), (2, 9), (3, 9)])})
+        q = parse_query("Q(x) :- R(x, y)")
+        weight = TableWeight({"x": {1: 5.0, 2: 0.0, 3: 2.0}})
+        got = [a.values for a in LexBacktrackEnumerator(q, db, weight=weight)]
+        assert got == [(2,), (3,), (1,)]  # by weight, not by id
+
+    def test_scores_are_order_tuples(self):
+        db = Database.from_dict({"R": (("a", "b"), [(1, 9)])})
+        q = parse_query("Q(x) :- R(x, y)")
+        answer = next(iter(LexBacktrackEnumerator(q, db)))
+        assert answer.score == (1,)
+        assert answer.key == (1,)
+
+    def test_empty_join(self):
+        db = Database.from_dict(
+            {"R": (("a", "b"), [(1, 1)]), "S": (("b", "c"), [(2, 2)])}
+        )
+        q = parse_query("Q(x, z) :- R(x, y), S(y, z)")
+        assert LexBacktrackEnumerator(q, db).all() == []
+
+
+class TestValidation:
+    def test_order_must_be_head_permutation(self, paper_query, paper_db):
+        with pytest.raises(RankingError):
+            LexBacktrackEnumerator(paper_query, paper_db, order=("a",))
+
+    def test_unknown_descending_rejected(self, paper_query, paper_db):
+        with pytest.raises(RankingError):
+            LexBacktrackEnumerator(paper_query, paper_db, descending=("zz",))
+
+    def test_one_shot(self, paper_query, paper_db):
+        enum = LexBacktrackEnumerator(paper_query, paper_db)
+        enum.all()
+        with pytest.raises(QueryError):
+            enum.all()
+
+    def test_fresh(self, paper_query, paper_db):
+        enum = LexBacktrackEnumerator(paper_query, paper_db)
+        a = [x.values for x in enum.all()]
+        b = [x.values for x in enum.fresh().all()]
+        assert a == b
+
+
+class TestInstrumentation:
+    def test_reducer_passes_counted(self, paper_query, paper_db):
+        enum = LexBacktrackEnumerator(paper_query, paper_db)
+        enum.all()
+        assert enum.stats.reducer_passes > 0
+        assert enum.stats.answers == 6
+
+    def test_no_priority_queues_used(self, paper_query, paper_db):
+        enum = LexBacktrackEnumerator(paper_query, paper_db)
+        enum.all()
+        assert enum.stats.peak_pq_entries == 0

@@ -1,0 +1,91 @@
+"""Unit tests for CSV import/export (repro.data.loader)."""
+
+import pytest
+
+from repro.data import (
+    Database,
+    load_database_dir,
+    load_relation_csv,
+    save_database_dir,
+    save_relation_csv,
+)
+from repro.data.loader import parse_value
+from repro.errors import SchemaError
+
+
+class TestParseValue:
+    def test_int(self):
+        assert parse_value("42") == 42
+
+    def test_float(self):
+        assert parse_value("3.5") == 3.5
+
+    def test_string(self):
+        assert parse_value("hello") == "hello"
+
+
+class TestRelationRoundTrip:
+    def test_round_trip(self, tmp_path):
+        from repro.data import Relation
+
+        r = Relation("R", ("a", "name"), [(1, "alice"), (2, "bob")])
+        path = tmp_path / "R.csv"
+        save_relation_csv(r, str(path))
+        r2 = load_relation_csv(str(path))
+        assert r2.name == "R"
+        assert r2.attrs == ("a", "name")
+        assert r2.tuples == [(1, "alice"), (2, "bob")]
+
+    def test_name_override(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("a,b\n1,2\n")
+        r = load_relation_csv(str(path), name="E")
+        assert r.name == "E"
+
+    def test_custom_types(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("a,b\n1,2\n")
+        r = load_relation_csv(str(path), types=[str, int])
+        assert r.tuples == [("1", 2)]
+
+    def test_types_arity_mismatch(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(SchemaError):
+            load_relation_csv(str(path), types=[int])
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_relation_csv(str(path))
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(SchemaError):
+            load_relation_csv(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "R.csv"
+        path.write_text("a,b\n1,2\n\n3,4\n")
+        r = load_relation_csv(str(path))
+        assert r.tuples == [(1, 2), (3, 4)]
+
+
+class TestDatabaseRoundTrip:
+    def test_round_trip(self, tmp_path):
+        db = Database.from_dict(
+            {"R": (("a", "b"), [(1, 2)]), "S": (("x",), [(9,)])}
+        )
+        save_database_dir(db, str(tmp_path / "data"))
+        db2 = load_database_dir(str(tmp_path / "data"))
+        assert sorted(db2.names()) == ["R", "S"]
+        assert db2["R"].tuples == [(1, 2)]
+        assert db2["S"].tuples == [(9,)]
+
+    def test_per_relation_types(self, tmp_path):
+        db = Database.from_dict({"R": (("a",), [("01",)])})
+        save_database_dir(db, str(tmp_path / "d"))
+        db2 = load_database_dir(str(tmp_path / "d"), types={"R": [str]})
+        assert db2["R"].tuples == [("01",)]

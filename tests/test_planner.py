@@ -1,0 +1,126 @@
+"""Tests for the planner dispatch and the one-call API."""
+
+import pytest
+
+from repro.core import (
+    AcyclicRankedEnumerator,
+    CyclicRankedEnumerator,
+    LexBacktrackEnumerator,
+    StarTradeoffEnumerator,
+    UnionRankedEnumerator,
+    create_enumerator,
+    enumerate_ranked,
+    is_star_query,
+)
+from repro.core.ranking import LexRanking, SumRanking
+from repro.data import Database
+from repro.errors import QueryError
+from repro.query import parse_query
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict(
+        {
+            "R": (("a", "b"), [(1, 10), (2, 10), (3, 20)]),
+            "S": (("a", "b"), [(1, 10), (9, 20)]),
+            "T": (("a", "b"), [(10, 1), (20, 9)]),
+        }
+    )
+
+
+STAR = "Q(a1, a2) :- R(a1, p), R(a2, p)"
+PATH = "Q(x, w) :- R(x, y), S(y, z), T(z, w)"
+TRIANGLE = "Q(x, y) :- R(x, y), S(y, z), T(z, x)"
+UNION = "Q(x) :- R(x, y) ; Q(x) :- S(x, y)"
+
+
+class TestDispatch:
+    def test_acyclic_sum_gets_lindelay(self, db):
+        enum = create_enumerator(parse_query(STAR), db)
+        assert isinstance(enum, AcyclicRankedEnumerator)
+
+    def test_acyclic_lex_gets_backtracker(self, db):
+        enum = create_enumerator(parse_query(STAR), db, LexRanking())
+        assert isinstance(enum, LexBacktrackEnumerator)
+
+    def test_lex_method_override_to_lindelay(self, db):
+        enum = create_enumerator(parse_query(STAR), db, LexRanking(), method="lindelay")
+        assert isinstance(enum, AcyclicRankedEnumerator)
+
+    def test_epsilon_selects_star(self, db):
+        enum = create_enumerator(parse_query(STAR), db, epsilon=0.5)
+        assert isinstance(enum, StarTradeoffEnumerator)
+
+    def test_delta_selects_star(self, db):
+        enum = create_enumerator(parse_query(STAR), db, delta=3)
+        assert isinstance(enum, StarTradeoffEnumerator)
+
+    def test_cyclic_gets_ghd(self, db):
+        enum = create_enumerator(parse_query(TRIANGLE), db)
+        assert isinstance(enum, CyclicRankedEnumerator)
+
+    def test_union_gets_union(self, db):
+        enum = create_enumerator(parse_query(UNION), db)
+        assert isinstance(enum, UnionRankedEnumerator)
+
+    def test_ghd_method_on_acyclic(self, db):
+        enum = create_enumerator(parse_query(PATH), db, method="ghd")
+        assert isinstance(enum, CyclicRankedEnumerator)
+
+    def test_star_method_on_non_star_rejected(self, db):
+        from repro.errors import NotAStarQueryError
+
+        with pytest.raises(NotAStarQueryError):
+            create_enumerator(parse_query(PATH), db, method="star")
+
+    def test_lindelay_method_on_cyclic_rejected(self, db):
+        with pytest.raises(QueryError):
+            create_enumerator(parse_query(TRIANGLE), db, method="lindelay")
+
+    def test_unknown_method_rejected(self, db):
+        with pytest.raises(QueryError):
+            create_enumerator(parse_query(PATH), db, method="nope")
+
+    def test_union_rejects_method_override(self, db):
+        with pytest.raises(QueryError):
+            create_enumerator(parse_query(UNION), db, method="ghd")
+
+
+class TestIsStar:
+    def test_star_detected(self):
+        assert is_star_query(parse_query(STAR))
+
+    def test_path_not_star(self):
+        assert not is_star_query(parse_query(PATH))
+
+
+class TestEnumerateRanked:
+    def test_k_limits(self, db):
+        q = parse_query(STAR)
+        assert len(enumerate_ranked(q, db, k=2)) == 2
+        assert len(enumerate_ranked(q, db)) == len(enumerate_ranked(q, db, k=10**9))
+
+    def test_all_methods_agree(self, db):
+        q = parse_query(STAR)
+        expected = [a.values for a in enumerate_ranked(q, db)]
+        for method, kwargs in [
+            ("lindelay", {}),
+            ("star", {"epsilon": 0.5}),
+            ("ghd", {}),
+        ]:
+            got = [a.values for a in enumerate_ranked(q, db, method=method, **kwargs)]
+            assert got == expected, method
+        lex_sum_equivalent = [
+            a.values
+            for a in enumerate_ranked(q, db, method="lex-backtrack")
+        ]
+        # identity-weight SUM and LEX orders differ in general, but the
+        # answer *sets* agree
+        assert sorted(lex_sum_equivalent) == sorted(expected)
+
+    def test_kwargs_forwarded(self, db):
+        q = parse_query(STAR)
+        enum = create_enumerator(q, db, SumRanking(), root="R#2")
+        assert isinstance(enum, AcyclicRankedEnumerator)
+        assert enum.join_tree.root.alias == "R#2"

@@ -1,0 +1,172 @@
+"""Tests for query-property classification (Appendix E) and the CLI."""
+
+import csv
+import io
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.data import Database, save_database_dir
+from repro.query import (
+    classify_query,
+    delay_guarantee,
+    is_acyclic,
+    is_free_connex,
+    parse_query,
+)
+
+
+class TestFreeConnex:
+    def test_full_queries_are_free_connex(self):
+        q = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        assert is_free_connex(q)
+
+    def test_hierarchical_projection_free_connex(self):
+        # head {x, y} over R(x,y) ⋈ S(y,z): head edge nests into the body.
+        q = parse_query("Q(x, y) :- R(x, y), S(y, z)")
+        assert is_free_connex(q)
+
+    def test_two_path_endpoints_not_free_connex(self):
+        # The classic non-free-connex query: head {x, z} of a 2-path.
+        q = parse_query("Q(x, z) :- R(x, y), S(y, z)")
+        assert is_acyclic(q)
+        assert not is_free_connex(q)
+
+    def test_cyclic_not_free_connex(self):
+        q = parse_query("Q(x, y) :- R(x, y), S(y, z), T(z, x)")
+        assert not is_free_connex(q)
+
+    def test_star_projection_not_free_connex(self):
+        q = parse_query("Q(x1, x2) :- R(x1, b), R(x2, b)")
+        assert not is_free_connex(q)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "text,label",
+        [
+            ("Q(x, y) :- R(x, y)", "full acyclic"),
+            ("Q(x, y) :- R(x, y), S(y, z)", "free-connex"),
+            ("Q(x, z) :- R(x, y), S(y, z)", "acyclic"),
+            ("Q(x, y) :- R(x, y), S(y, z), T(z, x)", "cyclic"),
+            ("Q(x) :- R(x, y) ; Q(x) :- S(x, y)", "union"),
+        ],
+    )
+    def test_labels(self, text, label):
+        assert classify_query(parse_query(text)) == label
+
+    def test_guarantees_reference_the_right_results(self):
+        assert "Appendix E" in delay_guarantee(parse_query("Q(x, y) :- R(x, y)"))
+        assert "Theorem 1" in delay_guarantee(parse_query("Q(x, z) :- R(x, y), S(y, z)"))
+        assert "Theorem 3" in delay_guarantee(
+            parse_query("Q(x, y) :- R(x, y), S(y, z), T(z, x)")
+        )
+        assert "Theorem 4" in delay_guarantee(
+            parse_query("Q(x) :- R(x, y) ; Q(x) :- S(x, y)")
+        )
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    db = Database()
+    db.add_relation("E", ("a", "p"), [(1, 10), (2, 10), (3, 20), (1, 20)])
+    save_database_dir(db, str(tmp_path / "data"))
+    return str(tmp_path / "data")
+
+
+def run_cli(args, capsys):
+    code = main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCli:
+    QUERY = "Q(a1, a2) :- E(a1, p), E(a2, p)"
+
+    def test_topk_csv_output(self, data_dir, capsys):
+        code, out, _ = run_cli([self.QUERY, "--data", data_dir, "--k", "3"], capsys)
+        assert code == 0
+        rows = list(csv.reader(io.StringIO(out)))
+        assert rows[0] == ["a1", "a2", "score"]
+        assert rows[1] == ["1", "1", "2.0"]
+        assert len(rows) == 4
+
+    def test_no_header(self, data_dir, capsys):
+        code, out, _ = run_cli(
+            [self.QUERY, "--data", data_dir, "--k", "1", "--no-header"], capsys
+        )
+        assert code == 0
+        assert out.splitlines()[0].startswith("1,1")
+
+    def test_explain(self, data_dir, capsys):
+        code, out, _ = run_cli([self.QUERY, "--data", data_dir, "--explain"], capsys)
+        assert code == 0
+        assert "AcyclicRankedEnumerator" in out
+        assert "acyclic" in out
+        assert "Theorem 1" in out
+
+    def test_lex_and_desc(self, data_dir, capsys):
+        code, out, _ = run_cli(
+            [self.QUERY, "--data", data_dir, "--rank", "lex", "--desc", "a1", "--k", "2"],
+            capsys,
+        )
+        assert code == 0
+        rows = list(csv.reader(io.StringIO(out)))
+        assert rows[1][0] == "3"  # largest a1 first
+
+    def test_weights_file(self, data_dir, tmp_path, capsys):
+        weights = tmp_path / "w.csv"
+        weights.write_text("1,100\n2,1\n3,1\n")
+        code, out, _ = run_cli(
+            [self.QUERY, "--data", data_dir, "--weights", str(weights), "--k", "1"],
+            capsys,
+        )
+        assert code == 0
+        rows = list(csv.reader(io.StringIO(out)))
+        assert rows[1][:2] == ["2", "2"]  # lightest pair first
+
+    def test_stats_flag(self, data_dir, capsys):
+        code, _out, err = run_cli(
+            [self.QUERY, "--data", data_dir, "--k", "1", "--stats"], capsys
+        )
+        assert code == 0
+        assert "answers in" in err
+
+    def test_union_query(self, data_dir, capsys):
+        code, out, _ = run_cli(
+            ["Q(x) :- E(x, p) ; Q(x) :- E(p2, x)", "--data", data_dir, "--k", "2"],
+            capsys,
+        )
+        assert code == 0
+        assert len(out.splitlines()) == 3
+
+    def test_method_override(self, data_dir, capsys):
+        code, out, _ = run_cli(
+            [self.QUERY, "--data", data_dir, "--method", "star", "--epsilon", "0.5",
+             "--explain"],
+            capsys,
+        )
+        assert code == 0
+        assert "StarTradeoffEnumerator" in out
+
+    def test_bad_query_is_clean_error(self, data_dir, capsys):
+        code, _out, err = run_cli(["garbage", "--data", data_dir], capsys)
+        assert code == 2
+        assert "error:" in err
+
+    def test_missing_data_dir(self, capsys):
+        code, _out, err = run_cli([self.QUERY, "--data", "/nonexistent-xyz"], capsys)
+        assert code == 2
+        assert "error:" in err
+
+    def test_module_entry_point(self, data_dir):
+        import subprocess
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", self.QUERY, "--data", data_dir, "--k", "1"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "a1,a2,score" in result.stdout

@@ -1,0 +1,65 @@
+"""Additional hypothesis properties: unions, selections, min-weight."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.naive import ranked_output, ranked_union_output
+from repro.core import AcyclicRankedEnumerator, UnionRankedEnumerator
+from repro.core.minweight import MinWeightProjectionEnumerator
+from repro.data import Database
+from repro.query import parse_query
+
+values = st.integers(min_value=0, max_value=3)
+
+
+def rows2(max_rows: int = 8):
+    return st.lists(st.tuples(values, values), min_size=0, max_size=max_rows)
+
+
+def rows3(max_rows: int = 8):
+    return st.lists(st.tuples(values, values, values), min_size=0, max_size=max_rows)
+
+
+UNION = parse_query("Q(x, y) :- R(x, p), S(y, p) ; Q(x, y) :- S(x, p), R(y, p)")
+SELECTED = parse_query("Q(p1, p2) :- T(p1, m, 1), T(p2, m, 1)")
+PATH3 = parse_query("Q(x, w) :- R(x, y), S(y, w)")
+
+
+@settings(max_examples=50, deadline=None)
+@given(r=rows2(), s=rows2())
+def test_union_matches_oracle(r, s):
+    db = Database.from_dict({"R": (("a", "b"), r), "S": (("a", "b"), s)})
+    expected = ranked_union_output(UNION, db)
+    got = [(a.values, a.score) for a in UnionRankedEnumerator(UNION, db)]
+    assert got == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(t=rows3(12))
+def test_selection_matches_oracle(t):
+    db = Database.from_dict({"T": (("a", "b", "c"), t)})
+    expected = ranked_output(SELECTED, db)
+    got = [(a.values, a.score) for a in AcyclicRankedEnumerator(SELECTED, db)]
+    assert got == expected
+    # every emitted pair must have a witness with the selected constant
+    allowed = {row[0] for row in t if row[2] == 1}
+    for answer, _ in got:
+        assert set(answer) <= allowed
+
+
+@settings(max_examples=50, deadline=None)
+@given(r=rows2(), s=rows2())
+def test_minweight_outputs_equal_distinct_projections(r, s):
+    db = Database.from_dict({"R": (("a", "b"), r), "S": (("a", "b"), s)})
+    minweight = {a.values for a in MinWeightProjectionEnumerator(PATH3, db)}
+    projection_rank = {a.values for a in AcyclicRankedEnumerator(PATH3, db)}
+    assert minweight == projection_rank  # same answer set, different order
+
+
+@settings(max_examples=50, deadline=None)
+@given(r=rows2(), s=rows2())
+def test_union_subsumes_branches(r, s):
+    db = Database.from_dict({"R": (("a", "b"), r), "S": (("a", "b"), s)})
+    union_values = {a.values for a in UnionRankedEnumerator(UNION, db)}
+    for branch in UNION.branches:
+        branch_values = {a.values for a in AcyclicRankedEnumerator(branch, db)}
+        assert branch_values <= union_values

@@ -1,0 +1,152 @@
+"""Unit tests for the query model and the Datalog-style parser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import Atom, JoinProjectQuery, UnionQuery, parse_query, parse_rule
+
+
+class TestAtom:
+    def test_basic(self):
+        a = Atom("R", ("x", "y"))
+        assert a.relation == "R"
+        assert a.variables == ("x", "y")
+        assert a.alias == "R"
+        assert a.var_set == frozenset({"x", "y"})
+        assert a.position("y") == 1
+
+    def test_repeated_variable_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", ("x", "x"))
+
+    def test_empty_variables_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", ())
+
+    def test_unknown_position(self):
+        with pytest.raises(QueryError):
+            Atom("R", ("x",)).position("z")
+
+    def test_equality_and_hash(self):
+        assert Atom("R", ("x",)) == Atom("R", ("x",))
+        assert hash(Atom("R", ("x",))) == hash(Atom("R", ("x",)))
+        assert Atom("R", ("x",)) != Atom("R", ("y",))
+
+
+class TestJoinProjectQuery:
+    def test_head_defaults_to_all_vars_in_order(self):
+        q = JoinProjectQuery([Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert q.head == ("x", "y", "z")
+        assert q.is_full
+
+    def test_projection(self):
+        q = JoinProjectQuery(
+            [Atom("R", ("x", "y")), Atom("S", ("y", "z"))], head=("x", "z")
+        )
+        assert not q.is_full
+        assert q.existential_variables == {"y"}
+
+    def test_unknown_head_var_rejected(self):
+        with pytest.raises(QueryError):
+            JoinProjectQuery([Atom("R", ("x",))], head=("z",))
+
+    def test_duplicate_head_var_rejected(self):
+        with pytest.raises(QueryError):
+            JoinProjectQuery([Atom("R", ("x", "y"))], head=("x", "x"))
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(QueryError):
+            JoinProjectQuery([Atom("R", ("x",))], head=())
+
+    def test_no_atoms_rejected(self):
+        with pytest.raises(QueryError):
+            JoinProjectQuery([], head=("x",))
+
+    def test_self_join_aliases_uniquified(self):
+        q = JoinProjectQuery(
+            [Atom("R", ("a1", "p")), Atom("R", ("a2", "p"))], head=("a1", "a2")
+        )
+        assert [a.alias for a in q.atoms] == ["R", "R#2"]
+        assert all(a.relation == "R" for a in q.atoms)
+
+    def test_atoms_with(self):
+        q = JoinProjectQuery([Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert [a.alias for a in q.atoms_with("y")] == ["R", "S"]
+
+    def test_full_version(self):
+        q = JoinProjectQuery([Atom("R", ("x", "y"))], head=("x",))
+        full = q.full_version()
+        assert full.is_full
+        assert full.head == ("x", "y")
+
+    def test_with_head(self):
+        q = JoinProjectQuery([Atom("R", ("x", "y"))], head=("x",))
+        q2 = q.with_head(("y",))
+        assert q2.head == ("y",)
+        assert q2.atoms == q.atoms
+
+    def test_edge_map(self):
+        q = JoinProjectQuery([Atom("R", ("x", "y"))])
+        assert q.edge_map() == {"R": frozenset({"x", "y"})}
+
+    def test_equality(self):
+        q1 = JoinProjectQuery([Atom("R", ("x", "y"))], head=("x",))
+        q2 = JoinProjectQuery([Atom("R", ("x", "y"))], head=("x",))
+        assert q1 == q2 and hash(q1) == hash(q2)
+
+
+class TestUnionQuery:
+    def test_shared_head_required(self):
+        q1 = JoinProjectQuery([Atom("R", ("x", "y"))], head=("x",))
+        q2 = JoinProjectQuery([Atom("S", ("x", "y"))], head=("y",))
+        with pytest.raises(QueryError):
+            UnionQuery([q1, q2])
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(QueryError):
+            UnionQuery([])
+
+    def test_basic(self):
+        q1 = JoinProjectQuery([Atom("R", ("x", "y"))], head=("x",))
+        q2 = JoinProjectQuery([Atom("S", ("x", "y"))], head=("x",))
+        u = UnionQuery([q1, q2])
+        assert u.head == ("x",)
+        assert len(u) == 2
+
+
+class TestParser:
+    def test_single_rule(self):
+        q = parse_query("Q(a1, a2) :- R(a1, p), R(a2, p)")
+        assert isinstance(q, JoinProjectQuery)
+        assert q.head == ("a1", "a2")
+        assert len(q.atoms) == 2
+        assert q.name == "Q"
+
+    def test_union(self):
+        u = parse_query("Q(x) :- R(x, y) ; Q(x) :- S(x, z)")
+        assert isinstance(u, UnionQuery)
+        assert len(u.branches) == 2
+
+    def test_whitespace_tolerance(self):
+        q = parse_rule("  Q( x ,y )  :-  R( x , y )  ")
+        assert q.head == ("x", "y")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(QueryError):
+            parse_rule("Q(x) R(x, y)")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("Q(x) :- R(x, y) garbage")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("   ")
+
+    def test_two_heads_rejected(self):
+        with pytest.raises(QueryError):
+            parse_rule("Q(x), P(y) :- R(x, y)")
+
+    def test_atom_without_vars_rejected(self):
+        with pytest.raises(QueryError):
+            parse_rule("Q(x) :- R()")

@@ -1,0 +1,229 @@
+"""Unit tests for the ranking-function algebra (paper §2.1)."""
+
+import pytest
+
+from repro.core.ranking import (
+    AvgRanking,
+    CallableWeight,
+    CompositeRanking,
+    Desc,
+    IdentityWeight,
+    LexRanking,
+    MaxRanking,
+    MinRanking,
+    ProductRanking,
+    SumRanking,
+    TableWeight,
+)
+from repro.errors import RankingError
+
+POS2 = {"x": 0, "y": 1}
+
+
+class TestWeightFunctions:
+    def test_identity(self):
+        w = IdentityWeight()
+        assert w("a", 3) == 3
+        assert w("a", 2.5) == 2.5
+
+    def test_identity_rejects_non_numeric(self):
+        with pytest.raises(RankingError):
+            IdentityWeight()("a", "str")
+        with pytest.raises(RankingError):
+            IdentityWeight()("a", True)  # bools are not weights
+
+    def test_table_weight(self):
+        w = TableWeight({"x": {1: 10.0}}, default=0.5)
+        assert w("x", 1) == 10.0
+        assert w("x", 99) == 0.5
+
+    def test_table_weight_default_table(self):
+        w = TableWeight({}, default_table={7: 3.0})
+        assert w("anything", 7) == 3.0
+
+    def test_table_weight_missing_raises(self):
+        w = TableWeight({"x": {}})
+        with pytest.raises(RankingError):
+            w("x", 1)
+        with pytest.raises(RankingError):
+            w("unknown_attr", 1)
+
+    def test_callable_weight(self):
+        w = CallableWeight(lambda a, v: v * 2, label="double")
+        assert w("x", 3) == 6
+        assert w.describe() == "double"
+
+
+class TestSumRanking:
+    def test_key_and_combine(self):
+        b = SumRanking().bind(POS2)
+        assert b.key([("x", 2), ("y", 3)]) == 5
+        assert b.combine([2.0, 3.0, b.zero]) == 5.0
+        assert b.final_score(5.0) == 5.0
+
+    def test_descending_negates(self):
+        b = SumRanking(descending=True).bind(POS2)
+        assert b.key([("x", 2)]) == -2
+        assert b.final_score(-2.0) == 2.0
+        # larger sums get smaller keys -> enumerated first
+        assert b.key([("x", 10)]) < b.key([("x", 1)])
+
+    def test_key_of_output(self):
+        b = SumRanking().bind(POS2)
+        assert b.key_of_output(("x", "y"), (1, 2)) == 3
+
+
+class TestAvgRanking:
+    def test_same_order_as_sum_scaled_score(self):
+        b = AvgRanking().bind(POS2)
+        key = b.key([("x", 2), ("y", 4)])
+        assert key == 6
+        assert b.final_score(key) == pytest.approx(3.0)
+
+
+class TestMinMaxRanking:
+    def test_min(self):
+        b = MinRanking().bind(POS2)
+        assert b.key([("x", 2), ("y", 5)]) == 2
+        assert b.combine([2.0, 5.0]) == 2.0
+        assert b.combine([b.zero, 3.0]) == 3.0
+
+    def test_max(self):
+        b = MaxRanking().bind(POS2)
+        assert b.key([("x", 2), ("y", 5)]) == 5
+        assert b.combine([b.zero, 3.0]) == 3.0
+
+    def test_min_descending_orders_by_largest_min_first(self):
+        b = MinRanking(descending=True).bind(POS2)
+        hi = b.combine([b.key([("x", 5)]), b.key([("y", 9)])])
+        lo = b.combine([b.key([("x", 1)]), b.key([("y", 9)])])
+        assert hi < lo  # min 5 enumerated before min 1
+        assert b.final_score(hi) == 5.0
+
+
+class TestProductRanking:
+    def test_product(self):
+        b = ProductRanking().bind(POS2)
+        assert b.key([("x", 2), ("y", 3)]) == 6
+        assert b.combine([2.0, 3.0]) == 6.0
+
+    def test_negative_weight_rejected(self):
+        b = ProductRanking().bind(POS2)
+        with pytest.raises(RankingError):
+            b.key([("x", -1)])
+
+    def test_descending(self):
+        b = ProductRanking(descending=True).bind(POS2)
+        k1 = b.key([("x", 2)])
+        k2 = b.key([("x", 5)])
+        assert k2 < k1
+        assert b.combine([k1, b.zero]) == k1
+        assert b.final_score(k2) == 5.0
+
+
+class TestLexRanking:
+    def test_key_sorted_by_position(self):
+        b = LexRanking().bind(POS2)
+        assert b.key([("y", 7), ("x", 1)]) == ((0, 1), (1, 7))
+
+    def test_combine_merges(self):
+        b = LexRanking().bind(POS2)
+        k = b.combine([b.key([("y", 7)]), b.key([("x", 1)])])
+        assert k == ((0, 1), (1, 7))
+        assert b.final_score(k) == (1, 7)
+
+    def test_explicit_order(self):
+        b = LexRanking(order=("y", "x")).bind(POS2)
+        assert b.key([("x", 1), ("y", 7)]) == ((0, 7), (1, 1))
+
+    def test_order_missing_var_rejected(self):
+        with pytest.raises(RankingError):
+            LexRanking(order=("x",)).bind(POS2)
+
+    def test_descending_wraps(self):
+        b = LexRanking(descending=("x",)).bind(POS2)
+        k_small = b.key([("x", 10)])
+        k_large = b.key([("x", 1)])
+        assert k_small < k_large  # 10 before 1 descending
+        assert b.final_score(k_small) == (10,)
+
+    def test_unknown_descending_rejected(self):
+        with pytest.raises(RankingError):
+            LexRanking(descending=("zz",)).bind(POS2)
+
+    def test_unknown_variable_in_key_rejected(self):
+        b = LexRanking().bind(POS2)
+        with pytest.raises(RankingError):
+            b.key([("zz", 1)])
+
+    def test_weighted_lex(self):
+        w = TableWeight({}, default_table={1: 5.0, 2: 0.0})
+        b = LexRanking(weight=w).bind(POS2)
+        # value 2 has smaller weight -> smaller key
+        assert b.key([("x", 2)]) < b.key([("x", 1)])
+        assert b.final_score(b.key([("x", 2)])) == (2,)
+
+    def test_combine_monotone_any_interleaving(self):
+        # Monotonicity with non-contiguous positions: parent owns pos 1,
+        # child owns pos 0 and 2.
+        positions = {"a": 0, "b": 1, "c": 2}
+        b = LexRanking().bind(positions)
+        parent = b.key([("b", 5)])
+        child_small = b.key([("a", 1), ("c", 1)])
+        child_large = b.key([("a", 1), ("c", 9)])
+        assert child_small < child_large
+        assert b.combine([parent, child_small]) < b.combine([parent, child_large])
+
+
+class TestDescWrapper:
+    def test_ordering_reversed(self):
+        assert Desc(5) < Desc(3)
+        assert Desc(3) > Desc(5)
+        assert Desc(3) >= Desc(5)
+        assert Desc(5) <= Desc(3)
+
+    def test_equality_and_hash(self):
+        assert Desc(3) == Desc(3)
+        assert hash(Desc(3)) == hash(Desc(3))
+        assert Desc(3) != 3
+
+
+class TestCompositeRanking:
+    def test_then_by(self):
+        comp = SumRanking().then_by(LexRanking())
+        assert isinstance(comp, CompositeRanking)
+        b = comp.bind(POS2)
+        k = b.key([("x", 1), ("y", 2)])
+        assert k[0] == 3
+        assert b.final_score(k) == (3.0, (1, 2))
+
+    def test_tie_broken_by_secondary(self):
+        b = SumRanking().then_by(LexRanking()).bind(POS2)
+        k1 = b.key([("x", 1), ("y", 2)])
+        k2 = b.key([("x", 2), ("y", 1)])
+        assert k1[0] == k2[0]
+        assert k1 < k2  # lex on (x, y) breaks the sum tie
+
+    def test_combine_componentwise(self):
+        b = SumRanking().then_by(SumRanking()).bind(POS2)
+        assert b.combine([b.key([("x", 1)]), b.key([("y", 2)])]) == (3, 3)
+
+    def test_describe(self):
+        assert "SUM" in SumRanking().then_by(LexRanking()).describe()
+
+
+class TestDescribe:
+    @pytest.mark.parametrize(
+        "ranking,needle",
+        [
+            (SumRanking(), "SUM"),
+            (SumRanking(descending=True), "desc"),
+            (AvgRanking(), "SUM"),
+            (MinRanking(), "MIN"),
+            (MaxRanking(), "MAX"),
+            (ProductRanking(), "PRODUCT"),
+            (LexRanking(), "LEX"),
+        ],
+    )
+    def test_describe_mentions_kind(self, ranking, needle):
+        assert needle in ranking.describe()

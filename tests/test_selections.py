@@ -1,0 +1,140 @@
+"""Tests for equality selections (Const terms) across the whole stack.
+
+The paper notes "for simplicity of presentation, we do not consider
+selections; these can be easily incorporated into our algorithms" — its
+evaluation queries do use them (``P.is_research = true``,
+``P.role = 'ACTOR'``).  Const terms implement exactly that.
+"""
+
+import pytest
+
+from repro.algorithms import BfsSortBaseline, EngineBaseline, FullQueryRankedBaseline
+from repro.algorithms.naive import ranked_output
+from repro.algorithms.yannakakis import atom_instances
+from repro.core import (
+    AcyclicRankedEnumerator,
+    CyclicRankedEnumerator,
+    LexBacktrackEnumerator,
+    StarTradeoffEnumerator,
+    enumerate_ranked,
+)
+from repro.data import Database
+from repro.errors import QueryError
+from repro.query import Atom, Const, parse_query
+
+
+@pytest.fixture
+def movie_db():
+    db = Database()
+    db.add_relation(
+        "PM",
+        ("person", "movie", "role"),
+        [
+            (1, 10, "actor"),
+            (2, 10, "actor"),
+            (3, 10, "director"),
+            (1, 20, "actor"),
+            (4, 20, "actor"),
+            (2, 20, "director"),
+        ],
+    )
+    return db
+
+
+class TestConstModel:
+    def test_selections_and_positions(self):
+        atom = Atom("PM", ("p", "m", Const("actor")))
+        assert atom.arity == 3
+        assert atom.variables == ("p", "m")
+        assert atom.selections == ((2, "actor"),)
+        assert atom.variable_positions == (0, 1)
+
+    def test_all_const_atom_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", (Const(1), Const(2)))
+
+    def test_const_equality(self):
+        assert Const(3) == Const(3)
+        assert Const(3) != Const("3")
+        assert hash(Const(3)) == hash(Const(3))
+
+    def test_parser_literals(self):
+        q = parse_query("Q(m) :- PM(p, m, 'actor'), Score(m, 3, 2.5)")
+        pm, score = q.atoms
+        assert pm.selections == ((2, "actor"),)
+        assert score.selections == ((1, 3), (2, 2.5))
+        assert isinstance(score.selections[0][1], int)
+        assert isinstance(score.selections[1][1], float)
+
+    def test_parser_rejects_const_in_head(self):
+        with pytest.raises(QueryError):
+            parse_query("Q(3) :- R(x, y)")
+
+    def test_negative_numbers(self):
+        q = parse_query("Q(x) :- R(x, -5)")
+        assert q.atoms[0].selections == ((1, -5),)
+
+
+class TestAtomInstancesWithSelections:
+    def test_rows_filtered_and_projected(self, movie_db):
+        q = parse_query("Q(p, m) :- PM(p, m, 'actor')")
+        rows = atom_instances(q, movie_db)["PM"]
+        assert sorted(rows) == [(1, 10), (1, 20), (2, 10), (4, 20)]
+
+    def test_arity_checked_on_terms(self, movie_db):
+        q = parse_query("Q(p) :- PM(p, 'actor')")
+        with pytest.raises(QueryError):
+            atom_instances(q, movie_db)
+
+
+class TestEnumerationWithSelections:
+    # IMDB2hop in miniature: co-actor pairs only.
+    QUERY = "Q(p1, p2) :- PM(p1, m, 'actor'), PM(p2, m, 'actor')"
+
+    def test_acyclic(self, movie_db):
+        q = parse_query(self.QUERY)
+        expected = ranked_output(q, movie_db)
+        got = [(a.values, a.score) for a in AcyclicRankedEnumerator(q, movie_db)]
+        assert got == expected
+        # director-only person 3 never appears
+        assert all(3 not in a for a, _ in got)
+
+    def test_all_algorithms_agree(self, movie_db):
+        q = parse_query(self.QUERY)
+        expected = [v for v, _ in ranked_output(q, movie_db)]
+        algos = [
+            AcyclicRankedEnumerator(q, movie_db),
+            StarTradeoffEnumerator(q, movie_db, epsilon=0.5),
+            CyclicRankedEnumerator(q, movie_db),
+            EngineBaseline(q, movie_db),
+            BfsSortBaseline(q, movie_db),
+            FullQueryRankedBaseline(q, movie_db),
+        ]
+        for enum in algos:
+            assert [a.values for a in enum] == expected, type(enum).__name__
+
+    def test_lex_backtracker(self, movie_db):
+        q = parse_query(self.QUERY)
+        expected = [v for v, _ in ranked_output(q, movie_db)]
+        from repro.core.ranking import LexRanking
+
+        expected_lex = [v for v, _ in ranked_output(q, movie_db, LexRanking())]
+        got = [a.values for a in LexBacktrackEnumerator(q, movie_db)]
+        assert got == expected_lex
+        assert sorted(got) == sorted(expected)
+
+    def test_planner_path(self, movie_db):
+        q = parse_query(self.QUERY)
+        answers = enumerate_ranked(q, movie_db, k=3)
+        assert [a.values for a in answers] == [(1, 1), (1, 2), (2, 1)]
+
+    def test_mixed_selection_values(self, movie_db):
+        # different constants on the two atom occurrences
+        q = parse_query("Q(p1, p2) :- PM(p1, m, 'actor'), PM(p2, m, 'director')")
+        got = [a.values for a in AcyclicRankedEnumerator(q, movie_db)]
+        assert got == [v for v, _ in ranked_output(q, movie_db)]
+        assert (1, 3) in got  # actor 1 with director 3 via movie 10
+
+    def test_empty_selection(self, movie_db):
+        q = parse_query("Q(p) :- PM(p, m, 'producer')")
+        assert AcyclicRankedEnumerator(q, movie_db).all() == []

@@ -1,0 +1,157 @@
+"""Tests for the star-query tradeoff structure (Theorem 2, Algorithms 4-5)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.naive import ranked_output
+from repro.core import StarTradeoffEnumerator, star_query_shape
+from repro.core.ranking import LexRanking, SumRanking
+from repro.data import Database
+from repro.errors import NotAStarQueryError
+from repro.query import parse_query
+
+from conftest import random_db_for
+
+
+def star_query(m: int):
+    head = ", ".join(f"x{i}" for i in range(m))
+    body = ", ".join(f"R(x{i}, b)" for i in range(m))
+    return parse_query(f"Q({head}) :- {body}")
+
+
+class TestShapeDetection:
+    def test_valid_star(self):
+        q = star_query(3)
+        join_var, legs = star_query_shape(q)
+        assert join_var == "b"
+        assert len(legs) == 3
+
+    def test_non_binary_rejected(self):
+        q = parse_query("Q(x, y) :- R(x, y, b), S(y, b)")
+        with pytest.raises(NotAStarQueryError):
+            star_query_shape(q)
+
+    def test_single_atom_rejected(self):
+        with pytest.raises(NotAStarQueryError):
+            star_query_shape(parse_query("Q(x) :- R(x, b)"))
+
+    def test_two_path_with_projected_middle_is_a_star(self):
+        # A 2-path with its middle projected away is exactly Q*_2.
+        join_var, legs = star_query_shape(parse_query("Q(x, z) :- R(x, y), S(y, z)"))
+        assert join_var == "y" and len(legs) == 2
+
+    def test_three_path_rejected(self):
+        with pytest.raises(NotAStarQueryError):
+            star_query_shape(parse_query("Q(x, w) :- R(x, y), S(y, z), T(z, w)"))
+
+    def test_join_var_in_head_rejected(self):
+        with pytest.raises(NotAStarQueryError):
+            star_query_shape(parse_query("Q(x, b) :- R(x, b), S(y, b)"))
+
+    def test_partial_head_rejected(self):
+        with pytest.raises(NotAStarQueryError):
+            star_query_shape(parse_query("Q(x) :- R(x, b), S(y, b)"))
+
+
+class TestParameterValidation:
+    def make(self, **kw):
+        db = Database.from_dict({"R": (("a", "b"), [(1, 1), (2, 1)])})
+        return StarTradeoffEnumerator(star_query(2), db, **kw)
+
+    def test_epsilon_range_checked(self):
+        with pytest.raises(NotAStarQueryError):
+            self.make(epsilon=1.5)
+
+    def test_delta_positive(self):
+        with pytest.raises(NotAStarQueryError):
+            self.make(delta=0)
+
+    def test_epsilon_and_delta_exclusive(self):
+        with pytest.raises(NotAStarQueryError):
+            self.make(epsilon=0.5, delta=2)
+
+    def test_delta_derived_from_epsilon(self):
+        enum = self.make(epsilon=1.0)
+        assert enum.delta == 1
+        enum = self.make(epsilon=0.0)
+        assert enum.delta >= 2
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    @pytest.mark.parametrize("epsilon", [0.0, 0.5, 1.0])
+    def test_matches_oracle(self, m, epsilon):
+        rng = random.Random(100 * m + int(10 * epsilon))
+        q = star_query(m)
+        for _ in range(15):
+            db = random_db_for(q, rng, max_rows=14, domain=5)
+            expected = ranked_output(q, db)
+            got = [
+                (a.values, a.score)
+                for a in StarTradeoffEnumerator(q, db, epsilon=epsilon)
+            ]
+            assert got == expected
+
+    def test_lex_ranking(self):
+        rng = random.Random(77)
+        q = star_query(2)
+        for _ in range(20):
+            db = random_db_for(q, rng)
+            expected = ranked_output(q, db, LexRanking())
+            got = [
+                (a.values, a.score)
+                for a in StarTradeoffEnumerator(q, db, LexRanking(), epsilon=0.5)
+            ]
+            assert got == expected
+
+    def test_descending_sum(self):
+        rng = random.Random(78)
+        q = star_query(2)
+        for _ in range(20):
+            db = random_db_for(q, rng)
+            rk = SumRanking(descending=True)
+            expected = ranked_output(q, db, rk)
+            got = [
+                (a.values, a.score)
+                for a in StarTradeoffEnumerator(q, db, rk, delta=2)
+            ]
+            assert got == expected
+
+
+class TestTradeoffBehaviour:
+    def big_db(self):
+        rng = random.Random(5)
+        rows = {(rng.randint(0, 20), rng.randint(0, 6)) for _ in range(120)}
+        db = Database()
+        db.add_relation("R", ("a", "b"), sorted(rows))
+        return db
+
+    def test_full_materialisation_at_epsilon_one(self):
+        db = self.big_db()
+        q = star_query(2)
+        enum = StarTradeoffEnumerator(q, db, epsilon=1.0).preprocess()
+        # delta=1: every tuple heavy, entire output materialised in O_H.
+        assert enum.heavy_output_size == len(ranked_output(q, db))
+
+    def test_no_materialisation_at_epsilon_zero(self):
+        db = self.big_db()
+        enum = StarTradeoffEnumerator(star_query(2), db, epsilon=0.0).preprocess()
+        assert enum.heavy_output_size == 0
+
+    def test_heavy_output_monotone_in_epsilon(self):
+        db = self.big_db()
+        q = star_query(2)
+        sizes = [
+            StarTradeoffEnumerator(q, db, epsilon=e).preprocess().heavy_output_size
+            for e in (0.0, 0.5, 1.0)
+        ]
+        assert sizes[0] <= sizes[1] <= sizes[2]
+
+    def test_one_shot_and_fresh(self):
+        db = self.big_db()
+        enum = StarTradeoffEnumerator(star_query(2), db, epsilon=0.5)
+        first = [a.values for a in enum]
+        with pytest.raises(NotAStarQueryError):
+            enum.all()
+        assert [a.values for a in enum.fresh()] == first

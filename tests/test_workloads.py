@@ -1,0 +1,217 @@
+"""Tests for the synthetic workload layer (generators, datasets, queries)."""
+
+import math
+
+import pytest
+
+from repro.core import is_star_query
+from repro.core.ranking import LexRanking, SumRanking
+from repro.errors import WorkloadError
+from repro.query import Hypergraph, UnionQuery
+from repro.workloads import (
+    bipartite_cycle,
+    bowtie,
+    butterfly,
+    four_hop,
+    general_cycle,
+    ldbc_q3_like,
+    ldbc_q10_like,
+    ldbc_q11_like,
+    log_degree_weights,
+    make_dblp_like,
+    make_friendster_like,
+    make_imdb_like,
+    make_ldbc_like,
+    make_memetracker_like,
+    path,
+    power_law_graph,
+    random_weights,
+    star,
+    three_hop,
+    two_hop,
+    uniform_bipartite,
+    zipf_bipartite,
+)
+from repro.workloads.generators import zipf_probabilities
+
+
+class TestGenerators:
+    def test_zipf_probabilities_normalised(self):
+        p = zipf_probabilities(100, 1.2)
+        assert p.sum() == pytest.approx(1.0)
+        assert p[0] > p[50] > p[99]
+
+    def test_zero_skew_uniform(self):
+        p = zipf_probabilities(10, 0.0)
+        assert p[0] == pytest.approx(p[9])
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(WorkloadError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(WorkloadError):
+            zipf_probabilities(10, -1.0)
+        with pytest.raises(WorkloadError):
+            zipf_bipartite(10, 10, -1)
+
+    def test_bipartite_edges_distinct_and_in_range(self):
+        edges = zipf_bipartite(50, 40, 300, seed=1)
+        assert len(edges) == 300
+        assert len(set(edges)) == 300
+        assert all(0 <= l < 50 and 0 <= r < 40 for l, r in edges)
+
+    def test_deterministic_per_seed(self):
+        a = zipf_bipartite(50, 40, 200, seed=9)
+        b = zipf_bipartite(50, 40, 200, seed=9)
+        c = zipf_bipartite(50, 40, 200, seed=10)
+        assert a == b
+        assert a != c
+
+    def test_capacity_cap(self):
+        edges = zipf_bipartite(3, 3, 100, seed=0)
+        assert len(edges) == 9
+
+    def test_uniform_bipartite(self):
+        edges = uniform_bipartite(20, 20, 50, seed=2)
+        assert len(edges) == len(set(edges)) == 50
+
+    def test_power_law_graph_no_self_loops(self):
+        edges = power_law_graph(30, 100, seed=3)
+        assert len(edges) == 100
+        assert all(s != d for s, d in edges)
+
+    def test_skew_increases_max_degree(self):
+        def max_deg(skew):
+            edges = zipf_bipartite(200, 200, 600, skew_left=skew, skew_right=0.5, seed=4)
+            counts = {}
+            for l, _ in edges:
+                counts[l] = counts.get(l, 0) + 1
+            return max(counts.values())
+
+        assert max_deg(1.6) > max_deg(0.2)
+
+
+class TestWeights:
+    def test_random_weights_deterministic(self):
+        assert random_weights(range(10), seed=1) == random_weights(range(10), seed=1)
+
+    def test_log_degree_weights(self):
+        from repro.data import Relation
+
+        rel = Relation("E", ("a", "p"), [(1, 1), (1, 2), (2, 1)])
+        w = log_degree_weights(rel, "a")
+        assert w[1] == pytest.approx(math.log2(3))
+        assert w[2] == pytest.approx(1.0)
+
+
+class TestQueryBuilders:
+    def test_two_hop_is_star(self):
+        assert is_star_query(two_hop().query)
+
+    def test_three_hop_shape(self):
+        spec = three_hop()
+        assert spec.query.head == ("a1", "p2")
+        assert spec.var_entities == {"a1": "left", "p2": "right"}
+        assert Hypergraph(spec.query.edge_map()).is_acyclic()
+
+    def test_four_hop_acyclic(self):
+        assert Hypergraph(four_hop().query.edge_map()).is_acyclic()
+
+    def test_star_builder(self):
+        spec = star(3)
+        assert is_star_query(spec.query)
+        assert len(spec.query.atoms) == 3
+        with pytest.raises(WorkloadError):
+            star(1)
+
+    def test_path_matches_named_builders(self):
+        assert path(2).query.head == two_hop().query.head
+        assert path(3).query.head == three_hop().query.head
+        assert path(4).query.head == four_hop().query.head
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_bipartite_cycles_cyclic(self, n):
+        spec = bipartite_cycle(n)
+        assert not Hypergraph(spec.query.edge_map()).is_acyclic()
+        assert len(spec.query.atoms) == 2 * n
+
+    def test_bowtie_shape(self):
+        # Appendix G.3: two eight-cycles joined at a common entity.
+        spec = bowtie()
+        assert len(spec.query.atoms) == 16
+        assert spec.query.head == ("a1", "b3")
+        assert not Hypergraph(spec.query.edge_map()).is_acyclic()
+
+    def test_general_cycle_and_butterfly(self):
+        assert len(general_cycle(5).query.atoms) == 5
+        assert butterfly().query.head == ("A", "C")
+        assert not Hypergraph(butterfly().query.edge_map()).is_acyclic()
+
+    def test_ldbc_are_unions(self):
+        for spec in (ldbc_q3_like(), ldbc_q10_like(), ldbc_q11_like()):
+            assert isinstance(spec.query, UnionQuery)
+
+
+class TestDatasets:
+    @pytest.mark.parametrize(
+        "factory",
+        [make_dblp_like, make_imdb_like, make_memetracker_like, make_friendster_like],
+    )
+    def test_bipartite_families(self, factory):
+        wl = factory(0.2)
+        assert wl.db.size > 0
+        assert "E" in wl.db
+        assert set(wl.entity_weights) == {"random", "log"}
+        assert set(wl.entity_weights["random"]) == {"left", "right"}
+
+    def test_scaling(self):
+        small = make_dblp_like(0.2)
+        large = make_dblp_like(0.4)
+        assert large.db.size > small.db.size
+
+    def test_ranking_wiring_sum(self):
+        wl = make_dblp_like(0.2)
+        spec = two_hop()
+        ranking = wl.ranking(spec, kind="sum")
+        assert isinstance(ranking, SumRanking)
+        bound = ranking.bind({"a1": 0, "a2": 1})
+        # weight lookups resolve through the left entity table
+        key = bound.key([("a1", 0), ("a2", 1)])
+        expected = (
+            wl.entity_weights["random"]["left"][0]
+            + wl.entity_weights["random"]["left"][1]
+        )
+        assert key == pytest.approx(expected)
+
+    def test_ranking_wiring_lex(self):
+        wl = make_dblp_like(0.2)
+        ranking = wl.ranking(two_hop(), kind="lex")
+        assert isinstance(ranking, LexRanking)
+        assert ranking.weight is not None
+
+    def test_log_scheme(self):
+        wl = make_dblp_like(0.2)
+        ranking = wl.ranking(two_hop(), scheme="log")
+        assert isinstance(ranking, SumRanking)
+
+    def test_unknown_scheme_rejected(self):
+        wl = make_dblp_like(0.2)
+        with pytest.raises(WorkloadError):
+            wl.ranking(two_hop(), scheme="nope")
+
+    def test_unknown_kind_rejected(self):
+        wl = make_dblp_like(0.2)
+        with pytest.raises(WorkloadError):
+            wl.ranking(two_hop(), kind="nope")
+
+    def test_ldbc_scales_linearly(self):
+        small = make_ldbc_like(1)
+        big = make_ldbc_like(2)
+        assert 1.5 < big.db.size / small.db.size < 2.5
+        with pytest.raises(WorkloadError):
+            make_ldbc_like(0)
+
+    def test_entity_kind_mismatch_detected(self):
+        wl = make_dblp_like(0.2)
+        spec = ldbc_q3_like()  # persons, not left/right
+        with pytest.raises(WorkloadError):
+            wl.ranking(spec)

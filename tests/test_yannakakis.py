@@ -1,0 +1,134 @@
+"""Unit tests for semi-joins and the Yannakakis machinery."""
+
+import random
+
+import pytest
+
+from repro.algorithms.naive import join_results
+from repro.algorithms.semijoin import antijoin, key_set, semijoin, shared_positions
+from repro.algorithms.yannakakis import (
+    atom_instances,
+    evaluate,
+    full_reduce,
+    project_join,
+)
+from repro.data import Database
+from repro.errors import QueryError
+from repro.query import build_join_tree, parse_query
+
+from conftest import random_db_for
+
+
+class TestSemijoinPrimitives:
+    def test_shared_positions(self):
+        assert shared_positions(("a", "b", "c"), ("c", "b", "d")) == ((1, 2), (1, 0))
+
+    def test_no_shared(self):
+        assert shared_positions(("a",), ("b",)) == ((), ())
+
+    def test_key_set(self):
+        assert key_set([(1, 2), (1, 3)], (0,)) == {(1,)}
+
+    def test_semijoin_filters(self):
+        left = [(1, "x"), (2, "y"), (3, "z")]
+        right = [(10, 1), (11, 3)]
+        assert semijoin(left, (0,), right, (1,)) == [(1, "x"), (3, "z")]
+
+    def test_semijoin_cartesian_semantics(self):
+        left = [(1,), (2,)]
+        assert semijoin(left, (), [(9,)], ()) == left
+        assert semijoin(left, (), [], ()) == []
+
+    def test_antijoin_complements_semijoin(self):
+        left = [(1,), (2,), (3,)]
+        right = [(2,)]
+        sj = semijoin(left, (0,), right, (0,))
+        aj = antijoin(left, (0,), right, (0,))
+        assert sorted(sj + aj) == sorted(left)
+
+    def test_antijoin_cartesian(self):
+        assert antijoin([(1,)], (), [(5,)], ()) == []
+        assert antijoin([(1,)], (), [], ()) == [(1,)]
+
+
+class TestAtomInstances:
+    def test_distinct_by_default(self):
+        db = Database.from_dict({"R": (("a", "b"), [(1, 2), (1, 2), (3, 4)])})
+        q = parse_query("Q(x) :- R(x, y)")
+        inst = atom_instances(q, db)
+        assert inst["R"] == [(1, 2), (3, 4)]
+
+    def test_arity_mismatch_rejected(self):
+        db = Database.from_dict({"R": (("a",), [(1,)])})
+        q = parse_query("Q(x) :- R(x, y)")
+        with pytest.raises(QueryError):
+            atom_instances(q, db)
+
+    def test_self_join_aliases(self):
+        db = Database.from_dict({"R": (("a", "b"), [(1, 2)])})
+        q = parse_query("Q(x, y) :- R(x, p), R(y, p)")
+        inst = atom_instances(q, db)
+        assert set(inst) == {"R", "R#2"}
+
+
+class TestFullReduce:
+    def test_paper_example_dangling_removed(self, paper_query, paper_db):
+        # Example 4: tuple (1, 2) of R3 is dangling (no matching D value
+        # would survive -- D=2 exists in R4, but C... see paper Fig 3a:
+        # after the full reducer pass (1,2) is removed from R3).
+        tree = build_join_tree(paper_query, root="R3")
+        inst = full_reduce(tree, atom_instances(paper_query, paper_db))
+        assert (1, 1) in inst["R3"]
+        assert len(inst["R1"]) == 4  # all R1 tuples survive
+
+    def test_reduced_equals_participating_tuples(self):
+        rng = random.Random(99)
+        q = parse_query("Q(a, e) :- R1(a,b), R2(b,c), R3(c,d), R4(d,e)")
+        for _ in range(30):
+            db = random_db_for(q, rng)
+            tree = build_join_tree(q)
+            inst = full_reduce(tree, atom_instances(q, db))
+            bindings = join_results(q, db)
+            for atom in q.atoms:
+                participating = {
+                    tuple(binding[v] for v in atom.variables) for binding in bindings
+                }
+                assert set(inst[atom.alias]) == participating, atom.alias
+
+    def test_input_not_mutated(self, paper_query, paper_db):
+        tree = build_join_tree(paper_query)
+        original = atom_instances(paper_query, paper_db)
+        copies = {a: list(r) for a, r in original.items()}
+        full_reduce(tree, original)
+        assert original == copies
+
+
+class TestProjectJoinAndEvaluate:
+    def test_matches_bruteforce_distinct(self):
+        rng = random.Random(7)
+        shapes = [
+            "Q(a1, a2) :- R(a1, p), R(a2, p)",
+            "Q(x, w) :- R(x, y), S(y, z), T(z, w)",
+            "Q(x) :- R(x, y), S(y, z)",
+        ]
+        for _ in range(40):
+            q = parse_query(rng.choice(shapes))
+            db = random_db_for(q, rng)
+            expected = {
+                tuple(b[v] for v in q.head) for b in join_results(q, db)
+            }
+            assert evaluate(q, db) == expected
+
+    def test_project_join_respects_tree_order(self, paper_query, paper_db):
+        tree = build_join_tree(paper_query, root="R3")
+        inst = full_reduce(tree, atom_instances(paper_query, paper_db))
+        rows, order = project_join(tree, inst)
+        assert set(order) == {"a", "e"}
+        assert len(rows) == len(set(rows))  # distinct
+
+    def test_empty_result(self):
+        db = Database.from_dict(
+            {"R": (("a", "b"), [(1, 1)]), "S": (("b", "c"), [(2, 2)])}
+        )
+        q = parse_query("Q(x, z) :- R(x, y), S(y, z)")
+        assert evaluate(q, db) == set()
