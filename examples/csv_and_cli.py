@@ -15,10 +15,10 @@ import tempfile
 
 from repro import (
     Database,
+    QueryEngine,
     SumRanking,
     TableWeight,
     classify_query,
-    create_enumerator,
     delay_guarantee,
     parse_query,
 )
@@ -64,10 +64,21 @@ def main() -> None:
         popularity = TableWeight(
             {}, default_table={"ada": 90, "bob": 70, "cyd": 50, "dee": 30}
         )
-        enum = create_enumerator(query, db, SumRanking(popularity, descending=True))
+        # Session engine: the natural surface when the same data serves
+        # more than one query — plans and reduced instances are cached.
+        engine = QueryEngine(db)
+        ranking = SumRanking(popularity, descending=True)
         print("top-3 co-actor pairs by combined popularity:")
-        for answer in enum.top_k(3):
+        for answer in engine.execute(query, ranking, k=3):
             print(f"  {answer.values}  score={answer.score:.0f}")
+
+        # Re-running the query hits the plan cache (a served session).
+        engine.execute(query, ranking, k=3)
+        print(
+            f"second run reused the cached plan: "
+            f"{engine.stats.plan_hits} hit(s), "
+            f"{engine.stats.plan_misses} miss(es)"
+        )
 
         # CLI path: identical query through `python -m repro`, with the
         # popularity table supplied as a value,weight CSV.

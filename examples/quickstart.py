@@ -11,6 +11,7 @@ Run:  python examples/quickstart.py
 from repro import (
     Database,
     LexRanking,
+    QueryEngine,
     SumRanking,
     TableWeight,
     create_enumerator,
@@ -71,6 +72,19 @@ def main() -> None:
     print("\nSame query, ORDER BY w(a1) DESC, w(a2) DESC:")
     for answer in enumerate_ranked(query, db, lex, k=3):
         print(f"  {answer.values}")
+
+    # ------------------------------------------------------------------ #
+    # 5. Sessions: repeated queries through the cached engine.
+    # ------------------------------------------------------------------ #
+    engine = QueryEngine(db)
+    for _ in range(3):
+        engine.execute(query, ranking, k=5)
+    stats = engine.stats
+    print(
+        f"\nEngine session: {stats.executions} executions, "
+        f"{stats.plan_hits} plan-cache hits "
+        f"(parse, classification, join tree and reducer amortised)"
+    )
 
 
 if __name__ == "__main__":

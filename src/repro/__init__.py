@@ -20,8 +20,23 @@ Quickstart
 >>> [a.values for a in enumerate_ranked(q, db, k=3)]
 [(1, 1), (1, 2), (2, 1)]
 
+For repeated queries over one database, the session layer amortises
+per-query work (parsing, classification, join-tree construction, the
+full-reducer pass) behind LRU caches with automatic invalidation:
+
+>>> from repro import QueryEngine
+>>> engine = QueryEngine(db)
+>>> [a.values for a in engine.execute("Q(a1, a2) :- R(a1, p), R(a2, p)", k=3)]
+[(1, 1), (1, 2), (2, 1)]
+>>> _ = engine.execute("Q(a1, a2) :- R(a1, p), R(a2, p)", k=3)
+>>> engine.stats.plan_hits
+1
+
 Main entry points
 -----------------
+* :class:`repro.QueryEngine` — the cached session layer: parsed-query
+  and prepared-plan caches, generation-counter invalidation,
+  :class:`repro.EngineStats` observability;
 * :func:`repro.enumerate_ranked` / :func:`repro.create_enumerator` — the
   planner that picks the right algorithm for any CQ/UCQ;
 * :class:`repro.AcyclicRankedEnumerator` — Theorem 1's ``LinDelay``;
@@ -56,7 +71,9 @@ from .core import (
     enumerate_ranked,
     is_star_query,
 )
+from .core.planner import QueryPlan, plan_query
 from .data import Database, Relation
+from .engine import EngineStats, PreparedPlan, QueryEngine
 from .errors import (
     CyclicQueryError,
     DecompositionError,
@@ -80,13 +97,19 @@ from .query import (
     parse_query,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     # data
     "Database",
     "Relation",
+    # session layer
+    "QueryEngine",
+    "PreparedPlan",
+    "EngineStats",
+    "QueryPlan",
+    "plan_query",
     # query model
     "Atom",
     "Const",

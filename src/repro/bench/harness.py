@@ -6,6 +6,14 @@ answers* as a function of ``k``, per algorithm, per query, per dataset.
 (preprocessing included, as in the paper, whose engines also start
 cold) — and returns :class:`Measurement` rows that
 :mod:`repro.bench.reporting` renders as paper-style tables.
+
+For repeated-query workloads the harness also offers *engine sweeps*
+(:func:`engine_sweep`): the same measurements run through a
+:class:`~repro.engine.QueryEngine`, either ``cold`` (a fresh engine per
+measurement — per-query construction, as above) or ``warm`` (one shared
+session engine, so repeated measurements reuse cached plans and reduced
+instances).  Comparing the two modes is how figures report *amortised*
+latency.
 """
 
 from __future__ import annotations
@@ -14,8 +22,17 @@ import time
 from typing import Any, Callable, Mapping, Sequence
 
 from ..core.base import RankedEnumeratorBase
+from ..data.database import Database
+from ..engine import QueryEngine
 
-__all__ = ["Measurement", "time_top_k", "sweep", "measure_phases"]
+__all__ = [
+    "Measurement",
+    "time_top_k",
+    "sweep",
+    "measure_phases",
+    "time_engine_top_k",
+    "engine_sweep",
+]
 
 EnumFactory = Callable[[], RankedEnumeratorBase]
 
@@ -103,6 +120,83 @@ def sweep(
                 (time_top_k(factory, k, label=name) for _ in range(max(1, repeats))),
                 key=lambda m: m.seconds,
             )
+            out.append(runs[len(runs) // 2])
+    return out
+
+
+def time_engine_top_k(
+    engine: QueryEngine,
+    query,
+    k: int | None,
+    ranking=None,
+    *,
+    label: str = "",
+    **kwargs: Any,
+) -> Measurement:
+    """Time one engine execution (plan lookup + build + enumerate ``k``).
+
+    Cache effects are *included*: on a warm engine this measures the
+    amortised path, on a fresh engine the cold path — which is the
+    point of :func:`engine_sweep`'s two modes.
+    """
+    hits_before = engine.stats.plan_hits
+    started = time.perf_counter()
+    answers = engine.execute(query, ranking, k=k, **kwargs)
+    elapsed = time.perf_counter() - started
+    enum = engine.last_enumerator
+    extras = _extract_extras(enum) if enum is not None else {}
+    extras["plan_cache_hit"] = engine.stats.plan_hits > hits_before
+    name = label or (query if isinstance(query, str) else getattr(query, "name", "?"))
+    return Measurement(name, k, elapsed, len(answers), extras)
+
+
+def engine_sweep(
+    db: Database,
+    workload: Mapping[str, Any],
+    ks: Sequence[int | None],
+    *,
+    ranking=None,
+    repeats: int = 1,
+    mode: str = "warm",
+    **kwargs: Any,
+) -> list[Measurement]:
+    """Run a repeated-query workload through the session engine.
+
+    Parameters
+    ----------
+    db:
+        The database to serve.
+    workload:
+        ``label -> query`` (text or parsed) mapping, mirroring
+        :func:`sweep`'s ``algorithms`` mapping.
+    ks:
+        The ``k`` sweep (``None`` = all answers).
+    mode:
+        ``"warm"`` — one shared engine for the whole sweep, so every
+        measurement after the first per query reuses the cached plan
+        (amortised latency); ``"cold"`` — a fresh engine per
+        measurement (per-query construction, comparable to
+        :func:`sweep`).
+    repeats:
+        Keep the median of this many runs per point (warm mode primes
+        the plan cache with one untimed execution first, so *every*
+        kept run measures the steady state).
+    """
+    if mode not in ("warm", "cold"):
+        raise ValueError(f"engine_sweep mode must be 'warm' or 'cold', got {mode!r}")
+    out: list[Measurement] = []
+    shared = QueryEngine(db) if mode == "warm" else None
+    for name, query in workload.items():
+        for k in ks:
+            runs: list[Measurement] = []
+            if shared is not None:
+                shared.execute(query, ranking, k=k, **kwargs)  # prime the caches
+            for _ in range(max(1, repeats)):
+                engine = shared if shared is not None else QueryEngine(db)
+                runs.append(
+                    time_engine_top_k(engine, query, k, ranking, label=name, **kwargs)
+                )
+            runs.sort(key=lambda m: m.seconds)
             out.append(runs[len(runs) // 2])
     return out
 

@@ -5,6 +5,7 @@ Usage (also via ``python -m repro``)::
     repro "Q(a1, a2) :- E(a1, p), E(a2, p)" --data ./csvdir --k 10
     repro "Q(x, y) :- E(x, p), E(y, p)" --data ./csvdir \\
           --rank lex --desc x --explain
+    repro --repl --data ./csvdir --k 10 < queries.txt
 
 * ``--data DIR`` loads every ``*.csv`` in the directory as one relation
   each (header row = column names);
@@ -13,7 +14,16 @@ Usage (also via ``python -m repro``)::
 * ``--rank sum|lex|min|max|avg|product`` with optional ``--weights
   table.csv`` (two columns: value, weight) and ``--desc`` attributes;
 * ``--explain`` prints the chosen algorithm, the query class and the
-  paper's delay guarantee instead of running the query.
+  paper's delay guarantee instead of running the query;
+* ``--repl`` reads queries from stdin (one per line) and executes them
+  through a shared :class:`~repro.engine.QueryEngine` session, so
+  repeated queries reuse cached plans; ``:stats`` prints the engine
+  counters, ``:explain <query>`` the plan, ``:quit`` exits;
+* ``--stats`` prints timing plus the engine's cache hit/miss counters.
+
+All execution goes through the session engine: even one-shot queries
+are served by a :class:`~repro.engine.QueryEngine`, which is also the
+recommended library surface for repeated-query workloads.
 """
 
 from __future__ import annotations
@@ -22,9 +32,9 @@ import argparse
 import csv
 import sys
 import time
-from typing import Sequence
+from typing import Sequence, TextIO
 
-from .core.planner import METHODS, create_enumerator
+from .core.planner import METHODS
 from .core.ranking import (
     AvgRanking,
     LexRanking,
@@ -37,9 +47,8 @@ from .core.ranking import (
     WeightFunction,
 )
 from .data.loader import load_database_dir, parse_value
+from .engine import QueryEngine
 from .errors import ReproError
-from .query.parser import parse_query
-from .query.properties import classify_query, delay_guarantee
 
 __all__ = ["main", "build_parser"]
 
@@ -60,7 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Ranked enumeration of join-project queries over CSV data "
         "(Deep, Hu & Koutris, VLDB 2022).",
     )
-    parser.add_argument("query", help="Datalog-style query, e.g. 'Q(x,y) :- E(x,p), E(y,p)'")
+    parser.add_argument(
+        "query",
+        nargs="?",
+        default=None,
+        help="Datalog-style query, e.g. 'Q(x,y) :- E(x,p), E(y,p)' "
+        "(omit with --repl to read queries from stdin)",
+    )
     parser.add_argument("--data", required=True, help="directory of <relation>.csv files")
     parser.add_argument("--k", type=int, default=None, help="LIMIT k (default: all answers)")
     parser.add_argument(
@@ -86,9 +101,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--epsilon", type=float, default=None, help="star-query tradeoff knob in [0,1]"
     )
+    parser.add_argument(
+        "--repl",
+        action="store_true",
+        help="multi-query mode: read queries from stdin (one per line) through a "
+        "shared session engine with plan caching",
+    )
     parser.add_argument("--explain", action="store_true", help="print the plan and exit")
     parser.add_argument(
-        "--stats", action="store_true", help="print timing and data-structure stats"
+        "--stats", action="store_true", help="print timing, cache and data-structure stats"
     )
     parser.add_argument(
         "--no-header", action="store_true", help="omit the header row of the output"
@@ -120,44 +141,105 @@ def _build_ranking(args: argparse.Namespace) -> RankingFunction:
     return cls(**kwargs)
 
 
+def _print_explain(engine: QueryEngine, query: str, ranking, args) -> None:
+    info = engine.explain(
+        query, ranking, method=args.method, epsilon=args.epsilon
+    )
+    print(f"query class : {info['query class']}")
+    print(f"algorithm   : {info['algorithm']}")
+    print(f"ranking     : {info['ranking']}")
+    print(f"guarantee   : {info['guarantee']}")
+    print(f"|D|         : {info['|D|']}")
+    if info["cached plan"]:
+        print("plan        : cached")
+
+
+def _run_one(engine: QueryEngine, query_text: str, ranking, args) -> None:
+    """Execute one query through the engine and write CSV to stdout."""
+    started = time.perf_counter()
+    parsed = engine.parse(query_text)
+    answers = engine.execute(
+        parsed, ranking, k=args.k, method=args.method, epsilon=args.epsilon
+    )
+    elapsed = time.perf_counter() - started
+
+    writer = csv.writer(sys.stdout)
+    if not args.no_header:
+        writer.writerow(list(parsed.head) + ["score"])
+    for answer in answers:
+        writer.writerow(list(answer.values) + [answer.score])
+
+    if args.stats:
+        print(f"# {len(answers)} answers in {elapsed:.4f}s", file=sys.stderr)
+        enum = engine.last_enumerator
+        stats = getattr(enum, "stats", None)
+        if stats is not None:
+            print(f"# stats: {stats.snapshot()}", file=sys.stderr)
+
+
+def _print_engine_stats(engine: QueryEngine) -> None:
+    snap = engine.stats.snapshot()
+    per_query = snap.pop("per_query")
+    print(f"# engine: {snap}", file=sys.stderr)
+    for name, timing in per_query.items():
+        print(f"# engine[{name}]: {timing}", file=sys.stderr)
+
+
+def _repl(engine: QueryEngine, ranking, args, stream: TextIO) -> int:
+    """Read queries from ``stream`` (one per line) against one session.
+
+    Lines starting with ``#`` and blank lines are skipped.  ``:stats``
+    prints the engine counters, ``:explain <query>`` the plan for a
+    query, ``:quit`` / ``:q`` ends the session.  Errors are reported
+    per line without ending the session.
+    """
+    exit_code = 0
+    for raw in stream:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line in (":quit", ":q", ":exit"):
+            break
+        try:
+            if line == ":stats":
+                _print_engine_stats(engine)
+            elif line.startswith(":explain"):
+                _print_explain(engine, line[len(":explain") :].strip(), ranking, args)
+            else:
+                _run_one(engine, line, ranking, args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            exit_code = 2
+    if args.stats:
+        _print_engine_stats(engine)
+    return exit_code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.query is None and not args.repl:
+        parser.error("a query is required unless --repl is given")
+    if args.repl and args.query is not None:
+        parser.error("--repl reads queries from stdin; drop the positional query")
+    if args.repl and args.explain:
+        parser.error("--explain is per-query; use ':explain <query>' inside --repl")
     try:
-        query = parse_query(args.query)
         db = load_database_dir(args.data)
         ranking = _build_ranking(args)
+        engine = QueryEngine(db)
+
+        if args.repl:
+            return _repl(engine, ranking, args, sys.stdin)
 
         if args.explain:
-            enum = create_enumerator(
-                query, db, ranking, method=args.method, epsilon=args.epsilon
-            )
-            print(f"query class : {classify_query(query)}")
-            print(f"algorithm   : {type(enum).__name__}")
-            print(f"ranking     : {ranking.describe()}")
-            print(f"guarantee   : {delay_guarantee(query)}")
-            print(f"|D|         : {db.size}")
+            _print_explain(engine, args.query, ranking, args)
             return 0
 
-        started = time.perf_counter()
-        enum = create_enumerator(
-            query, db, ranking, method=args.method, epsilon=args.epsilon
-        )
-        answers = enum.all() if args.k is None else enum.top_k(args.k)
-        elapsed = time.perf_counter() - started
-
-        writer = csv.writer(sys.stdout)
-        if not args.no_header:
-            writer.writerow(list(query.head) + ["score"])
-        for answer in answers:
-            writer.writerow(list(answer.values) + [answer.score])
-
+        _run_one(engine, args.query, ranking, args)
         if args.stats:
-            stats = getattr(enum, "stats", None)
-            print(f"# {len(answers)} answers in {elapsed:.4f}s", file=sys.stderr)
-            if stats is not None:
-                print(f"# stats: {stats.snapshot()}", file=sys.stderr)
+            _print_engine_stats(engine)
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

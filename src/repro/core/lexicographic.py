@@ -87,9 +87,11 @@ class LexBacktrackEnumerator(RankedEnumeratorBase):
         weight: WeightFunction | None = None,
         join_tree: JoinTree | None = None,
         instances: Mapping[str, list[Row]] | None = None,
+        already_reduced: bool = False,
     ):
         self.query = query
         self.db = db
+        self._already_reduced = already_reduced
         self._order = tuple(order) if order is not None else query.head
         if sorted(self._order) != sorted(query.head):
             raise RankingError(
@@ -142,7 +144,10 @@ class LexBacktrackEnumerator(RankedEnumeratorBase):
             instances = {a: list(r) for a, r in self._given_instances.items()}
         else:
             instances = atom_instances(self.query, self.db)
-        self._instances = full_reduce(self.join_tree, instances)
+        if self._already_reduced:
+            self._instances = instances
+        else:
+            self._instances = full_reduce(self.join_tree, instances)
 
         # Value indexes for the first order variable's holders.
         self._value_index: dict[str, dict] = {}
@@ -301,5 +306,6 @@ class LexBacktrackEnumerator(RankedEnumeratorBase):
             weight=self._weight,
             join_tree=self.join_tree,
             instances=self._given_instances,
+            already_reduced=self._already_reduced,
         )
 

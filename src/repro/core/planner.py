@@ -16,6 +16,17 @@ acyclic            :class:`~repro.core.acyclic.AcyclicRankedEnumerator`
 ``"star"``, ``"ghd"``, ``"auto"``), and ``enumerate_ranked`` is the
 one-call convenience: the paper's ``SELECT DISTINCT .. ORDER BY ..
 LIMIT k``.
+
+Planning is split in two so the data-independent half can be cached
+(:mod:`repro.engine`):
+
+* :func:`plan_query` classifies the query (hypergraph acyclicity, star
+  shape, union structure) and builds the reusable structures — join
+  tree for the acyclic algorithms, GHD for the cyclic one.  It never
+  touches a :class:`~repro.data.database.Database`.
+* :meth:`QueryPlan.instantiate` binds a plan to a database, producing a
+  fresh one-shot enumerator.  ``create_enumerator`` is exactly
+  ``plan_query(...).instantiate(db)``.
 """
 
 from __future__ import annotations
@@ -35,7 +46,14 @@ from .ranking import LexRanking, RankingFunction, SumRanking
 from .star import StarTradeoffEnumerator, star_query_shape
 from .ucq import UnionRankedEnumerator
 
-__all__ = ["create_enumerator", "enumerate_ranked", "is_star_query", "METHODS"]
+__all__ = [
+    "QueryPlan",
+    "plan_query",
+    "create_enumerator",
+    "enumerate_ranked",
+    "is_star_query",
+    "METHODS",
+]
 
 METHODS = ("auto", "lindelay", "lex-backtrack", "star", "ghd")
 
@@ -47,6 +65,196 @@ def is_star_query(query: JoinProjectQuery) -> bool:
         return True
     except NotAStarQueryError:
         return False
+
+
+class QueryPlan:
+    """The data-independent result of planning one query.
+
+    A plan records which algorithm the dispatch table selected
+    (:attr:`kind`) together with the expensive structures that depend
+    only on the query — the join tree for the acyclic/lexicographic
+    algorithms and the GHD for the cyclic one.  Plans are therefore
+    reusable across executions and across databases with compatible
+    schemas; :class:`repro.engine.QueryEngine` caches them keyed on the
+    query/ranking/method fingerprint.
+
+    Attributes
+    ----------
+    query / ranking / method:
+        The planning inputs (``ranking`` normalised to :class:`SumRanking`).
+    kind:
+        One of ``"union"``, ``"cyclic"``, ``"star"``, ``"lex"``,
+        ``"acyclic"`` — the selected algorithm family.
+    acyclic:
+        Hypergraph classification (``True`` for union plans, which
+        dispatch per branch).
+    join_tree / ghd:
+        The pre-built structure for the selected family (``None`` where
+        not applicable).
+    """
+
+    __slots__ = (
+        "query",
+        "ranking",
+        "method",
+        "kind",
+        "acyclic",
+        "join_tree",
+        "ghd",
+        "epsilon",
+        "delta",
+        "kwargs",
+    )
+
+    _CLASSES = {
+        "union": UnionRankedEnumerator,
+        "cyclic": CyclicRankedEnumerator,
+        "star": StarTradeoffEnumerator,
+        "lex": LexBacktrackEnumerator,
+        "acyclic": AcyclicRankedEnumerator,
+    }
+
+    def __init__(
+        self,
+        query: JoinProjectQuery | UnionQuery,
+        ranking: RankingFunction,
+        method: str,
+        kind: str,
+        *,
+        acyclic: bool = True,
+        join_tree=None,
+        ghd=None,
+        epsilon: float | None = None,
+        delta: int | None = None,
+        kwargs: dict[str, Any] | None = None,
+    ):
+        self.query = query
+        self.ranking = ranking
+        self.method = method
+        self.kind = kind
+        self.acyclic = acyclic
+        self.join_tree = join_tree
+        self.ghd = ghd
+        self.epsilon = epsilon
+        self.delta = delta
+        self.kwargs = dict(kwargs or {})
+
+    @property
+    def enumerator_class(self) -> type[RankedEnumeratorBase]:
+        """The enumerator class this plan instantiates."""
+        return self._CLASSES[self.kind]
+
+    def describe(self) -> str:
+        """One-line plan summary (used by ``--explain`` and the engine)."""
+        shape = "union" if self.kind == "union" else (
+            "acyclic" if self.acyclic else "cyclic"
+        )
+        return f"{self.enumerator_class.__name__}[{shape}, rank={self.ranking.describe()}]"
+
+    def instantiate(self, db: Database, **overrides: Any) -> RankedEnumeratorBase:
+        """Bind the plan to a database: build a fresh one-shot enumerator.
+
+        ``overrides`` are forwarded to the enumerator constructor on top
+        of the planning-time kwargs (the warm path in
+        :mod:`repro.engine` passes pre-reduced ``instances`` this way).
+        """
+        kwargs = dict(self.kwargs)
+        kwargs.update(overrides)
+        query, ranking = self.query, self.ranking
+
+        if self.kind == "union":
+            return UnionRankedEnumerator(query, db, ranking, **kwargs)
+
+        if self.kind == "cyclic":
+            kwargs.setdefault("ghd", self.ghd)
+            return CyclicRankedEnumerator(query, db, ranking, **kwargs)
+
+        if self.kind == "star":
+            return StarTradeoffEnumerator(
+                query, db, ranking, epsilon=self.epsilon, delta=self.delta, **kwargs
+            )
+
+        if self.kind == "lex":
+            order = kwargs.pop("order", None)
+            descending = kwargs.pop("descending", None)
+            weight = kwargs.pop("weight", None)
+            if isinstance(ranking, LexRanking):
+                order = order if order is not None else ranking.order
+                descending = descending if descending is not None else ranking.descending
+                weight = weight if weight is not None else ranking.weight
+            kwargs.setdefault("join_tree", self.join_tree)
+            return LexBacktrackEnumerator(
+                query, db, order=order, descending=descending or (), weight=weight, **kwargs
+            )
+
+        kwargs.setdefault("join_tree", self.join_tree)
+        return AcyclicRankedEnumerator(query, db, ranking, **kwargs)
+
+
+def plan_query(
+    query: JoinProjectQuery | UnionQuery,
+    ranking: RankingFunction | None = None,
+    *,
+    method: str = "auto",
+    epsilon: float | None = None,
+    delta: int | None = None,
+    **kwargs: Any,
+) -> QueryPlan:
+    """Classify ``query`` and build its reusable plan (no database needed).
+
+    This is the cacheable half of :func:`create_enumerator`: hypergraph
+    classification plus join-tree / GHD construction.  See
+    :class:`QueryPlan` for what the result carries.
+    """
+    if method not in METHODS:
+        raise QueryError(f"unknown method {method!r}; choose one of {METHODS}")
+    ranking = ranking or SumRanking()
+
+    if isinstance(query, UnionQuery):
+        if method != "auto":
+            raise QueryError("union queries dispatch per-branch; use method='auto'")
+        return QueryPlan(query, ranking, method, "union", kwargs=kwargs)
+
+    acyclic = Hypergraph(query.edge_map()).is_acyclic()
+
+    if method == "ghd" or (method == "auto" and not acyclic):
+        ghd = kwargs.pop("ghd", None)
+        if ghd is None:
+            from ..query.ghd import find_ghd
+
+            ghd = find_ghd(query)
+        return QueryPlan(
+            query, ranking, method, "cyclic", acyclic=acyclic, ghd=ghd, kwargs=kwargs
+        )
+    if not acyclic:
+        raise QueryError(f"method {method!r} requires an acyclic query")
+
+    if method == "star" or (method == "auto" and (epsilon is not None or delta is not None)):
+        star_query_shape(query)  # raises NotAStarQueryError on a mismatch
+        return QueryPlan(
+            query,
+            ranking,
+            method,
+            "star",
+            epsilon=epsilon,
+            delta=delta,
+            kwargs=kwargs,
+        )
+
+    kind = (
+        "lex"
+        if method == "lex-backtrack"
+        or (method == "auto" and isinstance(ranking, LexRanking))
+        else "acyclic"
+    )
+    join_tree = kwargs.pop("join_tree", None)
+    if join_tree is None:
+        from ..query.jointree import build_join_tree
+
+        join_tree = build_join_tree(query, root=kwargs.get("root"))
+    return QueryPlan(
+        query, ranking, method, kind, join_tree=join_tree, kwargs=kwargs
+    )
 
 
 def create_enumerator(
@@ -78,42 +286,10 @@ def create_enumerator(
         Forwarded to the selected enumerator (``root``, ``join_tree``,
         ``dedup_inserts``, ``order``, ``descending``, ``ghd``, ...).
     """
-    if method not in METHODS:
-        raise QueryError(f"unknown method {method!r}; choose one of {METHODS}")
-    ranking = ranking or SumRanking()
-
-    if isinstance(query, UnionQuery):
-        if method != "auto":
-            raise QueryError("union queries dispatch per-branch; use method='auto'")
-        return UnionRankedEnumerator(query, db, ranking, **kwargs)
-
-    acyclic = Hypergraph(query.edge_map()).is_acyclic()
-
-    if method == "ghd" or (method == "auto" and not acyclic):
-        return CyclicRankedEnumerator(query, db, ranking, **kwargs)
-    if not acyclic:
-        raise QueryError(f"method {method!r} requires an acyclic query")
-
-    if method == "star" or (method == "auto" and (epsilon is not None or delta is not None)):
-        return StarTradeoffEnumerator(
-            query, db, ranking, epsilon=epsilon, delta=delta, **kwargs
-        )
-
-    if method == "lex-backtrack" or (
-        method == "auto" and isinstance(ranking, LexRanking)
-    ):
-        order = kwargs.pop("order", None)
-        descending = kwargs.pop("descending", None)
-        weight = kwargs.pop("weight", None)
-        if isinstance(ranking, LexRanking):
-            order = order if order is not None else ranking.order
-            descending = descending if descending is not None else ranking.descending
-            weight = weight if weight is not None else ranking.weight
-        return LexBacktrackEnumerator(
-            query, db, order=order, descending=descending or (), weight=weight, **kwargs
-        )
-
-    return AcyclicRankedEnumerator(query, db, ranking, **kwargs)
+    plan = plan_query(
+        query, ranking, method=method, epsilon=epsilon, delta=delta, **kwargs
+    )
+    return plan.instantiate(db)
 
 
 def enumerate_ranked(

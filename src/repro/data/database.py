@@ -28,10 +28,11 @@ class Database:
     ('a', 'b')
     """
 
-    __slots__ = ("_relations",)
+    __slots__ = ("_relations", "_structure_generation")
 
     def __init__(self, relations: Iterable[Relation] = ()):
         self._relations: dict[str, Relation] = {}
+        self._structure_generation: int = 0
         for rel in relations:
             self.add(rel)
 
@@ -49,6 +50,8 @@ class Database:
         existing = self._relations.get(relation.name)
         if existing is not None and existing is not relation:
             raise SchemaError(f"database already has a relation named {relation.name!r}")
+        if existing is None:
+            self._structure_generation += 1
         self._relations[relation.name] = relation
         return relation
 
@@ -96,6 +99,20 @@ class Database:
     def size(self) -> int:
         """``|D|``: total number of tuples over all relations."""
         return sum(len(r) for r in self._relations.values())
+
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter over the whole instance.
+
+        Combines the structural generation (relations added) with every
+        relation's own :attr:`~repro.data.relation.Relation.generation`,
+        so any ``add``/``extend``/``add_relation`` changes the value.
+        Cache layers (:mod:`repro.engine`) snapshot this to detect
+        staleness without hashing tuple lists.
+        """
+        return self._structure_generation + sum(
+            r.generation for r in self._relations.values()
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         inner = ", ".join(f"{r.name}({len(r)})" for r in self)

@@ -60,7 +60,7 @@ class Relation:
     [1, 2]
     """
 
-    __slots__ = ("name", "attrs", "tuples", "_indexes", "_sorted_cols")
+    __slots__ = ("name", "attrs", "tuples", "generation", "_indexes", "_sorted_cols", "_tuple_set")
 
     def __init__(self, name: str, attrs: Sequence[str], tuples: Iterable[Sequence[Value]] = ()):
         if not name:
@@ -77,9 +77,14 @@ class Relation:
                 )
             rows.append(t)
         self.tuples: list[Row] = rows
+        #: Mutation counter: bumped on every ``add``/``extend``.  Consumers
+        #: that cache derived structures (``repro.engine``) compare
+        #: generations instead of hashing tuple lists.
+        self.generation: int = 0
         # Caches; invalidated on mutation.
         self._indexes: dict[tuple[int, ...], dict] = {}
         self._sorted_cols: dict[str, list] = {}
+        self._tuple_set: set[Row] | None = None
 
     # ------------------------------------------------------------------ #
     # basic protocol
@@ -96,7 +101,11 @@ class Relation:
         return iter(self.tuples)
 
     def __contains__(self, row: Sequence[Value]) -> bool:
-        return tuple(row) in set(self.tuples) if len(self.tuples) > 64 else tuple(row) in self.tuples
+        if len(self.tuples) <= 64:
+            return tuple(row) in self.tuples
+        if self._tuple_set is None:
+            self._tuple_set = set(self.tuples)
+        return tuple(row) in self._tuple_set
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Relation({self.name!r}, attrs={self.attrs}, n={len(self.tuples)})"
@@ -157,8 +166,10 @@ class Relation:
             self.add(row)
 
     def _invalidate(self) -> None:
+        self.generation += 1
         self._indexes.clear()
         self._sorted_cols.clear()
+        self._tuple_set = None
 
     # ------------------------------------------------------------------ #
     # algebra helpers (used by baselines, workloads and tests)

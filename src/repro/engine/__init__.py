@@ -1,0 +1,16 @@
+"""repro.engine — the cached session layer over the enumeration core.
+
+:class:`QueryEngine` owns a :class:`~repro.data.database.Database` and
+amortises per-query work (parsing, classification, join-tree / GHD
+construction, the full-reducer pass, relation index builds) across a
+session of repeated queries, with LRU-bounded caches, generation-counter
+invalidation and :class:`EngineStats` observability.  See
+:mod:`repro.engine.engine` for the full story.
+"""
+
+from .engine import QueryEngine
+from .lru import LRUCache
+from .prepared import PreparedPlan
+from .stats import EngineStats, QueryTiming
+
+__all__ = ["QueryEngine", "PreparedPlan", "EngineStats", "QueryTiming", "LRUCache"]

@@ -1,0 +1,309 @@
+"""The session layer: a :class:`QueryEngine` facade over one database.
+
+Every entry point used to build a fresh enumerator per query —
+re-parsing the query text, re-classifying the hypergraph, re-building
+the join tree and re-running the full reducer each time.  A
+``QueryEngine`` amortises all of that across the session:
+
+* a **parsed-query cache** (query text -> query object, LRU);
+* a **prepared-plan cache** (query + ranking + method fingerprint ->
+  :class:`~repro.engine.prepared.PreparedPlan`, LRU), holding the
+  pre-built join tree / GHD / classification plus warm reduced
+  instances and pre-built relation indexes;
+* **generation-counter invalidation**: warm state is revalidated
+  against :attr:`Database.generation` before every execution, so
+  ``Relation.add`` / ``extend`` / ``Database.add_relation`` transparently
+  invalidate exactly the data-dependent half of the cache;
+* :class:`~repro.engine.stats.EngineStats` hit/miss/eviction counters
+  and per-query timings.
+
+The low-level one-shot path (:func:`repro.create_enumerator`) remains
+available and unchanged; the engine is the right surface for any caller
+that executes more than one query against the same data — the CLI's
+REPL mode, the benchmark harness's warm sweeps, and every future
+server/sharding layer.
+
+Examples
+--------
+>>> from repro.data import Database
+>>> from repro.engine import QueryEngine
+>>> db = Database()
+>>> _ = db.add_relation("R", ("a", "b"), [(1, 10), (2, 10), (3, 99)])
+>>> engine = QueryEngine(db)
+>>> [a.values for a in engine.execute("Q(a1, a2) :- R(a1, p), R(a2, p)", k=3)]
+[(1, 1), (1, 2), (2, 1)]
+>>> _ = engine.execute("Q(a1, a2) :- R(a1, p), R(a2, p)", k=3)
+>>> engine.stats.plan_hits
+1
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Sequence
+
+from ..core.answers import RankedAnswer
+from ..core.base import RankedEnumeratorBase
+from ..core.planner import plan_query
+from ..core.ranking import RankingFunction
+from ..data.database import Database
+from ..data.relation import Value
+from ..query.parser import parse_query
+from ..query.properties import classify_query, delay_guarantee
+from ..query.query import JoinProjectQuery, UnionQuery
+from .lru import LRUCache
+from .prepared import PreparedPlan
+from .stats import EngineStats
+
+__all__ = ["QueryEngine"]
+
+#: What the engine accepts wherever a query is expected: raw text (parsed
+#: through the LRU cache) or an already-parsed query object.
+QueryInput = str | JoinProjectQuery | UnionQuery
+
+
+class QueryEngine:
+    """A cached, session-scoped execution facade over one database.
+
+    Parameters
+    ----------
+    db:
+        The database to serve; a fresh empty one when omitted.
+    max_plans:
+        LRU bound on prepared plans (>= 1).
+    max_queries:
+        LRU bound on parsed query texts (>= 1).
+    """
+
+    def __init__(
+        self,
+        db: Database | None = None,
+        *,
+        max_plans: int = 64,
+        max_queries: int = 256,
+    ):
+        self.db = db if db is not None else Database()
+        self.stats = EngineStats()
+        self._queries: LRUCache = LRUCache(
+            max_queries, on_evict=self._count_query_eviction
+        )
+        self._plans: LRUCache = LRUCache(max_plans, on_evict=self._count_plan_eviction)
+        self.last_enumerator: RankedEnumeratorBase | None = None
+
+    def _count_query_eviction(self, _key, _value) -> None:
+        self.stats.query_evictions += 1
+
+    def _count_plan_eviction(self, _key, _value) -> None:
+        self.stats.plan_evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # data management
+    # ------------------------------------------------------------------ #
+    def add_relation(
+        self, name: str, attrs: Sequence[str], tuples: Iterable[Sequence[Value]] = ()
+    ):
+        """Create and register a relation (plans revalidate automatically)."""
+        return self.db.add_relation(name, attrs, tuples)
+
+    # ------------------------------------------------------------------ #
+    # parsing
+    # ------------------------------------------------------------------ #
+    def parse(self, query: QueryInput):
+        """Parse query text through the LRU cache; pass query objects through."""
+        if not isinstance(query, str):
+            return query
+        cached = self._queries.get(query)
+        if cached is not None:
+            self.stats.parse_hits += 1
+            return cached
+        self.stats.parse_misses += 1
+        parsed = parse_query(query)
+        self._queries.put(query, parsed)
+        return parsed
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _fingerprint(
+        query,
+        ranking: RankingFunction | None,
+        method: str,
+        epsilon: float | None,
+        delta: int | None,
+        kwargs: dict[str, Any],
+    ):
+        """Cache key for one (query, ranking, method, knobs) combination.
+
+        Rankings are keyed by identity (the cached plan keeps the object
+        alive, so the id stays valid): reusing one ranking object across
+        calls hits the cache, while structurally-equal-but-distinct
+        weight tables conservatively miss.  Returns ``None`` — meaning
+        "do not cache" — when the extra kwargs are unhashable
+        (e.g. a pre-built join tree or instance mapping).
+        """
+        ranking_key = (
+            "default"
+            if ranking is None
+            else (type(ranking).__name__, id(ranking))
+        )
+        key = (query, ranking_key, method, epsilon, delta, tuple(sorted(kwargs.items())))
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def prepare(
+        self,
+        query: QueryInput,
+        ranking: RankingFunction | None = None,
+        *,
+        method: str = "auto",
+        epsilon: float | None = None,
+        delta: int | None = None,
+        **kwargs: Any,
+    ) -> PreparedPlan:
+        """Plan a query once and cache the result for re-execution.
+
+        On a hit the cached :class:`PreparedPlan` is returned with its
+        join tree / GHD / warm reduced instances intact; on a miss the
+        query is classified and planned (:func:`repro.core.planner.plan_query`)
+        and the plan enters the LRU.
+        """
+        parsed = self.parse(query)
+        fingerprint = self._fingerprint(parsed, ranking, method, epsilon, delta, kwargs)
+        if fingerprint is not None:
+            hit = self._plans.get(fingerprint)
+            if hit is not None:
+                self.stats.plan_hits += 1
+                return hit
+            self.stats.plan_misses += 1
+        else:
+            self.stats.uncacheable += 1
+
+        started = time.perf_counter()
+        plan = plan_query(
+            parsed, ranking, method=method, epsilon=epsilon, delta=delta, **kwargs
+        )
+        prepared = PreparedPlan(plan, fingerprint, time.perf_counter() - started)
+        if fingerprint is not None:
+            self._plans.put(fingerprint, prepared)
+        return prepared
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def stream(
+        self,
+        query: QueryInput,
+        ranking: RankingFunction | None = None,
+        *,
+        method: str = "auto",
+        epsilon: float | None = None,
+        delta: int | None = None,
+        **kwargs: Any,
+    ) -> RankedEnumeratorBase:
+        """A fresh one-shot enumerator over the session database.
+
+        The delay-guarantee interface: iterate for answers in rank
+        order.  Warm plan state is reused when available.
+        """
+        prepared = self.prepare(
+            query, ranking, method=method, epsilon=epsilon, delta=delta, **kwargs
+        )
+        enum = prepared.make_enumerator(self.db, self.stats)
+        self.last_enumerator = enum
+        return enum
+
+    def execute(
+        self,
+        query: QueryInput,
+        ranking: RankingFunction | None = None,
+        *,
+        k: int | None = None,
+        method: str = "auto",
+        epsilon: float | None = None,
+        delta: int | None = None,
+        **kwargs: Any,
+    ) -> list[RankedAnswer]:
+        """Ranked execution with plan reuse: ``SELECT DISTINCT .. LIMIT k``.
+
+        Identical results to :func:`repro.enumerate_ranked`; repeated
+        executions of the same query skip parsing, classification, join
+        tree construction and the full-reducer pass.
+        """
+        started = time.perf_counter()
+        parsed = self.parse(query)
+        enum = self.stream(
+            parsed, ranking, method=method, epsilon=epsilon, delta=delta, **kwargs
+        )
+        answers = enum.all() if k is None else enum.top_k(k)
+        # Timings are keyed by the query's structure, not its name: head
+        # predicates are conventionally all called Q, which would fold
+        # every query in a session into one bucket.
+        self.stats.record_execution(repr(parsed), time.perf_counter() - started)
+        return answers
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def explain(
+        self,
+        query: QueryInput,
+        ranking: RankingFunction | None = None,
+        *,
+        method: str = "auto",
+        epsilon: float | None = None,
+        delta: int | None = None,
+        **kwargs: Any,
+    ) -> dict[str, Any]:
+        """The plan summary the CLI's ``--explain`` prints.
+
+        Returns a dict with the query class, selected algorithm, ranking
+        description, the paper's delay guarantee, ``|D|`` and whether
+        the plan came from the cache.
+        """
+        parsed = self.parse(query)
+        before_hits = self.stats.plan_hits
+        prepared = self.prepare(
+            parsed, ranking, method=method, epsilon=epsilon, delta=delta, **kwargs
+        )
+        return {
+            "query class": classify_query(parsed),
+            "algorithm": prepared.plan.enumerator_class.__name__,
+            "ranking": prepared.plan.ranking.describe(),
+            "guarantee": delay_guarantee(parsed),
+            "|D|": self.db.size,
+            "cached plan": self.stats.plan_hits > before_hits,
+        }
+
+    # ------------------------------------------------------------------ #
+    # cache control
+    # ------------------------------------------------------------------ #
+    def invalidate(self) -> None:
+        """Drop all warm (data-dependent) state, keeping the plans."""
+        for prepared in self._plans.values():
+            prepared._reduced_instances = None
+            prepared._generation = None
+
+    def clear_caches(self) -> None:
+        """Drop every cached parse and plan (counters are kept)."""
+        self._queries.clear()
+        self._plans.clear()
+
+    @property
+    def cached_plans(self) -> int:
+        """Number of prepared plans currently cached."""
+        return len(self._plans)
+
+    @property
+    def cached_queries(self) -> int:
+        """Number of parsed query texts currently cached."""
+        return len(self._queries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryEngine(db={self.db!r}, plans={len(self._plans)}, "
+            f"queries={len(self._queries)})"
+        )

@@ -1,0 +1,142 @@
+"""Engine observability: cache counters and per-query timings.
+
+Every :class:`~repro.engine.engine.QueryEngine` owns one
+:class:`EngineStats`; the CLI's ``--stats`` flag and the benchmark
+harness read :meth:`EngineStats.snapshot`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EngineStats", "QueryTiming"]
+
+
+class QueryTiming:
+    """Aggregated execution times for one query (keyed by query name)."""
+
+    __slots__ = ("count", "total_seconds", "last_seconds", "min_seconds", "max_seconds")
+
+    def __init__(self):
+        self.count = 0
+        self.total_seconds = 0.0
+        self.last_seconds = 0.0
+        self.min_seconds = float("inf")
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        self.last_seconds = seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total_seconds": round(self.total_seconds, 6),
+            "mean_seconds": round(self.mean_seconds, 6),
+            "last_seconds": round(self.last_seconds, 6),
+            "min_seconds": round(self.min_seconds, 6) if self.count else 0.0,
+            "max_seconds": round(self.max_seconds, 6),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryTiming(count={self.count}, total={self.total_seconds:.4f}s)"
+
+
+class EngineStats:
+    """Hit/miss/eviction counters plus per-query timing aggregates.
+
+    Attributes
+    ----------
+    parse_hits / parse_misses:
+        Parsed-query cache (query text -> query object).
+    plan_hits / plan_misses:
+        Prepared-plan cache (fingerprint -> :class:`PreparedPlan`).
+    plan_evictions / query_evictions:
+        LRU evictions per cache.
+    invalidations:
+        Warm state dropped because the database generation moved.
+    uncacheable:
+        Prepare calls whose kwargs could not be fingerprinted (planned
+        fresh, never cached).
+    executions / total_seconds / per_query:
+        Execution counts and wall-clock, overall and per query name.
+    """
+
+    __slots__ = (
+        "parse_hits",
+        "parse_misses",
+        "plan_hits",
+        "plan_misses",
+        "plan_evictions",
+        "query_evictions",
+        "invalidations",
+        "uncacheable",
+        "executions",
+        "total_seconds",
+        "per_query",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (the engine keeps its caches)."""
+        self.parse_hits = 0
+        self.parse_misses = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.plan_evictions = 0
+        self.query_evictions = 0
+        self.invalidations = 0
+        self.uncacheable = 0
+        self.executions = 0
+        self.total_seconds = 0.0
+        self.per_query: dict[str, QueryTiming] = {}
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record_execution(self, query_name: str, seconds: float) -> None:
+        """Account one execution of ``query_name`` taking ``seconds``."""
+        self.executions += 1
+        self.total_seconds += seconds
+        timing = self.per_query.get(query_name)
+        if timing is None:
+            timing = self.per_query[query_name] = QueryTiming()
+        timing.record(seconds)
+
+    @property
+    def plan_hit_rate(self) -> float:
+        """Prepared-plan hit fraction in [0, 1] (0.0 before any lookup)."""
+        lookups = self.plan_hits + self.plan_misses
+        return self.plan_hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-dict view for logging / ``--stats`` output."""
+        return {
+            "executions": self.executions,
+            "total_seconds": round(self.total_seconds, 6),
+            "parse_hits": self.parse_hits,
+            "parse_misses": self.parse_misses,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_hit_rate": round(self.plan_hit_rate, 4),
+            "plan_evictions": self.plan_evictions,
+            "query_evictions": self.query_evictions,
+            "invalidations": self.invalidations,
+            "uncacheable": self.uncacheable,
+            "per_query": {
+                name: timing.snapshot() for name, timing in self.per_query.items()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EngineStats(executions={self.executions}, "
+            f"plan_hits={self.plan_hits}, plan_misses={self.plan_misses})"
+        )

@@ -318,3 +318,11 @@ class UnionQuery:
 
     def __len__(self) -> int:
         return len(self.branches)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnionQuery):
+            return NotImplemented
+        return self.branches == other.branches
+
+    def __hash__(self) -> int:
+        return hash(self.branches)

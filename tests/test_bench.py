@@ -2,12 +2,14 @@
 
 from repro.bench import (
     Measurement,
+    engine_sweep,
     format_kv,
     format_table,
     measure_phases,
     measurements_table,
     series,
     sweep,
+    time_engine_top_k,
     time_top_k,
 )
 from repro.core import AcyclicRankedEnumerator
@@ -38,6 +40,39 @@ class TestHarness:
         ms = sweep({"a": make_factory(), "b": make_factory()}, [1, 2], repeats=2)
         assert len(ms) == 4
         assert {(m.algorithm, m.k) for m in ms} == {("a", 1), ("a", 2), ("b", 1), ("b", 2)}
+
+    def test_time_engine_top_k_reports_cache_hit(self):
+        from repro.engine import QueryEngine
+
+        db = Database.from_dict({"R": (("a", "b"), [(1, 10), (2, 10), (3, 20)])})
+        engine = QueryEngine(db)
+        text = "Q(a1, a2) :- R(a1, p), R(a2, p)"
+        cold = time_engine_top_k(engine, text, 3, label="q")
+        warm = time_engine_top_k(engine, text, 3, label="q")
+        assert cold.extras["plan_cache_hit"] is False
+        assert warm.extras["plan_cache_hit"] is True
+        assert cold.answers == warm.answers == 3
+
+    def test_engine_sweep_modes(self):
+        db = Database.from_dict({"R": (("a", "b"), [(1, 10), (2, 10), (3, 20)])})
+        workload = {"star": "Q(a1, a2) :- R(a1, p), R(a2, p)"}
+        warm = engine_sweep(db, workload, [2, 3], mode="warm", repeats=2)
+        cold = engine_sweep(db, workload, [2, 3], mode="cold", repeats=2)
+        assert [(m.algorithm, m.k, m.answers) for m in warm] == [
+            ("star", 2, 2),
+            ("star", 3, 3),
+        ]
+        assert all(m.extras["plan_cache_hit"] for m in warm)  # primed session
+        assert not any(m.extras["plan_cache_hit"] for m in cold)  # fresh engines
+
+    def test_engine_sweep_rejects_bad_mode(self):
+        db = Database.from_dict({"R": (("a", "b"), [(1, 10)])})
+        try:
+            engine_sweep(db, {}, [1], mode="lukewarm")
+        except ValueError as exc:
+            assert "lukewarm" in str(exc)
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected ValueError")
 
     def test_measure_phases(self):
         m = measure_phases(make_factory(), 2, label="lin")

@@ -6,6 +6,7 @@ import pytest
 
 import repro
 import repro.core.planner
+import repro.engine.engine
 import repro.core.lexicographic
 import repro.core.ucq
 import repro.core.acyclic
@@ -20,6 +21,7 @@ import repro.algorithms.semijoin
 MODULES = [
     repro,
     repro.core.planner,
+    repro.engine.engine,
     repro.core.lexicographic,
     repro.core.ucq,
     repro.core.acyclic,

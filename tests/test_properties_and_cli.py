@@ -160,6 +160,14 @@ class TestCli:
         assert code == 2
         assert "error:" in err
 
+    def test_stats_flag_surfaces_engine_counters(self, data_dir, capsys):
+        code, _out, err = run_cli(
+            [self.QUERY, "--data", data_dir, "--k", "1", "--stats"], capsys
+        )
+        assert code == 0
+        assert "# engine:" in err
+        assert "'plan_misses': 1" in err
+
     def test_module_entry_point(self, data_dir):
         import subprocess
 
@@ -170,3 +178,75 @@ class TestCli:
         )
         assert result.returncode == 0
         assert "a1,a2,score" in result.stdout
+
+
+class TestRepl:
+    QUERY = "Q(a1, a2) :- E(a1, p), E(a2, p)"
+
+    def run_repl(self, lines, data_dir, capsys, monkeypatch, *extra_args):
+        monkeypatch.setattr(sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+        code = main(["--repl", "--data", data_dir, "--k", "2", *extra_args])
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_repl_executes_multiple_queries(self, data_dir, capsys, monkeypatch):
+        code, out, _err = self.run_repl(
+            [self.QUERY, "Q(x) :- E(x, p)"], data_dir, capsys, monkeypatch
+        )
+        assert code == 0
+        assert "a1,a2,score" in out
+        assert "x,score" in out
+
+    def test_repl_repeated_query_hits_plan_cache(self, data_dir, capsys, monkeypatch):
+        code, out, err = self.run_repl(
+            [self.QUERY, self.QUERY, ":stats"], data_dir, capsys, monkeypatch
+        )
+        assert code == 0
+        assert out.count("a1,a2,score") == 2
+        assert "'plan_hits': 1" in err
+
+    def test_repl_stats_flag_prints_final_counters(self, data_dir, capsys, monkeypatch):
+        code, _out, err = self.run_repl(
+            [self.QUERY, self.QUERY], data_dir, capsys, monkeypatch, "--stats"
+        )
+        assert code == 0
+        assert "'plan_hits': 1" in err
+        assert "# engine[" in err  # per-query timing aggregate
+
+    def test_repl_error_does_not_end_session(self, data_dir, capsys, monkeypatch):
+        code, out, err = self.run_repl(
+            ["garbage", self.QUERY], data_dir, capsys, monkeypatch
+        )
+        assert code == 2  # an error occurred ...
+        assert "error:" in err
+        assert "a1,a2,score" in out  # ... but the later query still ran
+
+    def test_repl_skips_blanks_comments_and_quits(self, data_dir, capsys, monkeypatch):
+        code, out, _err = self.run_repl(
+            ["", "# comment", self.QUERY, ":quit", "Q(x) :- E(x, p)"],
+            data_dir,
+            capsys,
+            monkeypatch,
+        )
+        assert code == 0
+        assert "a1,a2,score" in out
+        assert "x,score" not in out  # after :quit nothing runs
+
+    def test_repl_explain_command(self, data_dir, capsys, monkeypatch):
+        code, out, _err = self.run_repl(
+            [f":explain {self.QUERY}"], data_dir, capsys, monkeypatch
+        )
+        assert code == 0
+        assert "AcyclicRankedEnumerator" in out
+
+    def test_query_required_without_repl(self, data_dir, capsys):
+        with pytest.raises(SystemExit):
+            main(["--data", data_dir])
+
+    def test_positional_query_conflicts_with_repl(self, data_dir, capsys):
+        with pytest.raises(SystemExit):
+            main([self.QUERY, "--repl", "--data", data_dir])
+
+    def test_explain_conflicts_with_repl(self, data_dir, capsys):
+        with pytest.raises(SystemExit):
+            main(["--repl", "--explain", "--data", data_dir])
