@@ -1,0 +1,175 @@
+"""Parallel sharded enumeration: the scaling curve over shard counts.
+
+The scenario the :mod:`repro.parallel` subsystem exists for: full ranked
+enumeration of the paper's *large-scale* workload (the Memetracker-like
+dataset of Figure 8, whose heavy answer duplication makes enumeration
+the dominant cost), executed serially vs. hash-partitioned across
+worker processes with an order-preserving merge.
+
+Every sharded run is verified **identical to the serial output** —
+same answers, same scores, same order, ties included — before any
+timing is reported; the speedup column is meaningless without that
+guarantee.
+
+Cost anatomy (why the curve scales): per-shard enumeration — the
+``O(|output| · delay)`` bulk — parallelises across cores, while the
+parent pays the serial residue: one ``O(|D|)`` partition pass plus the
+``O(|output| · log shards)`` merge.  On this workload the residue is
+roughly a quarter of the serial runtime, so ~3x at 4 shards is the
+expected plateau **given 4 physical cores**.  Wall-clock speedup is
+core-bound: on a single-CPU machine the sharded run degenerates to the
+serial work plus overhead, which is why the speedup gate below is
+conditioned on ``os.cpu_count()``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_parallel_scaling.py [--quick]
+
+``--quick`` shrinks the dataset and skips process workers (CI smoke);
+``--min-speedup X`` exits non-zero unless the measured speedup at the
+highest shard count reaches ``X`` — enforced automatically (target
+2.5x at 4 shards) when the machine has at least as many cores as
+shards, skipped with a notice otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.bench import format_table  # noqa: E402
+from repro.core.planner import enumerate_ranked  # noqa: E402
+from repro.data.partition import partition_query  # noqa: E402
+from repro.parallel import execute_sharded  # noqa: E402
+from repro.workloads import make_memetracker_like, two_hop  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: The acceptance target: speedup at the highest shard count, given
+#: enough cores (ISSUE 2 asks for >= 2.5x at 4 shards).
+TARGET_SPEEDUP = 2.5
+
+
+def run_curve(scale: float, shard_counts: list[int], backend: str) -> tuple[str, dict]:
+    workload = make_memetracker_like(scale=scale, seed=2)
+    spec = two_hop()
+    ranking = workload.ranking(spec, kind="sum")
+
+    started = time.perf_counter()
+    serial = enumerate_ranked(spec.query, workload.db, ranking)
+    serial_seconds = time.perf_counter() - started
+    serial_pairs = [(a.values, a.score) for a in serial]
+
+    partition = partition_query(spec.query, workload.db, max(shard_counts))
+    rows = [
+        (
+            "serial",
+            f"{serial_seconds:.3f}",
+            "1.00x",
+            str(len(serial)),
+            "(baseline)",
+        )
+    ]
+    speedups: dict[int, float] = {}
+    for shards in shard_counts:
+        started = time.perf_counter()
+        answers = execute_sharded(
+            spec.query,
+            workload.db,
+            ranking,
+            shards=shards,
+            backend=backend,
+        )
+        seconds = time.perf_counter() - started
+        identical = [(a.values, a.score) for a in answers] == serial_pairs
+        if not identical:
+            raise SystemExit(
+                f"FAIL: sharded output (shards={shards}, backend={backend}) "
+                "diverged from the serial ranked order"
+            )
+        speedups[shards] = serial_seconds / seconds if seconds else float("inf")
+        rows.append(
+            (
+                f"shards={shards}",
+                f"{seconds:.3f}",
+                f"{speedups[shards]:.2f}x",
+                str(len(answers)),
+                "identical",
+            )
+        )
+
+    table = format_table(
+        f"Parallel scaling [memetracker-like 2hop, |D|={workload.db.size}, "
+        f"|output|={len(serial)}, backend={backend}, cores={os.cpu_count()}]",
+        ("run", "seconds", "speedup", "answers", "vs serial"),
+        rows,
+        note=f"partition: {partition.describe()}",
+    )
+    return table, speedups
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke: tiny data, in-process backend")
+    parser.add_argument("--scale", type=float, default=None, help="workload scale override")
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "threads", "processes"),
+        default=None,
+        help="worker backend (default: processes; serial under --quick)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="*",
+        default=None,
+        metavar="N",
+        help="shard counts to sweep (default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless the top shard count reaches this speedup "
+        f"(default: {TARGET_SPEEDUP} when cores >= shards, else skipped)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (0.15 if args.quick else 0.6)
+    backend = args.backend or ("serial" if args.quick else "processes")
+    shard_counts = args.shards or ([1, 2] if args.quick else [1, 2, 4])
+
+    table, speedups = run_curve(scale, shard_counts, backend)
+    print(table)
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "parallel_scaling.txt"), "w") as fh:
+        fh.write(table + "\n")
+
+    top = max(shard_counts)
+    cores = os.cpu_count() or 1
+    min_speedup = args.min_speedup
+    if min_speedup is None and not args.quick and cores >= top and backend == "processes":
+        min_speedup = TARGET_SPEEDUP
+    if min_speedup is not None:
+        if speedups[top] < min_speedup:
+            print(
+                f"FAIL: speedup at {top} shards is {speedups[top]:.2f}x "
+                f"< required {min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: {speedups[top]:.2f}x at {top} shards (>= {min_speedup:.2f}x)")
+    elif cores < top:
+        print(
+            f"note: speedup gate skipped — {cores} core(s) available for {top} "
+            f"shards; wall-clock scaling needs >= {top} cores "
+            "(output identity was verified)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,10 @@ Main entry points
 * :class:`repro.StarTradeoffEnumerator` — Theorem 2's tradeoff;
 * :class:`repro.CyclicRankedEnumerator` — Theorem 3 (GHD-based);
 * :class:`repro.UnionRankedEnumerator` — Theorem 4 (UCQs);
+* :mod:`repro.parallel` — sharded execution: hash partitioning
+  (:func:`repro.partition_query`), worker backends and the
+  order-preserving merge behind
+  :meth:`repro.QueryEngine.execute_parallel`;
 * :mod:`repro.workloads` — the paper's datasets and queries, synthesised;
 * :mod:`repro.algorithms` — Yannakakis + the engine baselines.
 """
@@ -73,7 +77,13 @@ from .core import (
 )
 from .core.planner import QueryPlan, plan_query
 from .data import Database, Relation
+from .data.partition import (
+    QueryPartition,
+    choose_partition_attribute,
+    partition_query,
+)
 from .engine import EngineStats, PreparedPlan, QueryEngine
+from .parallel import execute_sharded, merge_ranked_streams, stream_sharded
 from .errors import (
     CyclicQueryError,
     DecompositionError,
@@ -110,6 +120,13 @@ __all__ = [
     "EngineStats",
     "QueryPlan",
     "plan_query",
+    # parallel subsystem
+    "QueryPartition",
+    "choose_partition_attribute",
+    "partition_query",
+    "execute_sharded",
+    "stream_sharded",
+    "merge_ranked_streams",
     # query model
     "Atom",
     "Const",

@@ -4,6 +4,7 @@ from .harness import (
     Measurement,
     engine_sweep,
     measure_phases,
+    parallel_sweep,
     sweep,
     time_engine_top_k,
     time_top_k,
@@ -17,6 +18,7 @@ __all__ = [
     "measure_phases",
     "time_engine_top_k",
     "engine_sweep",
+    "parallel_sweep",
     "format_table",
     "format_kv",
     "measurements_table",

@@ -19,6 +19,11 @@ Usage (also via ``python -m repro``)::
   through a shared :class:`~repro.engine.QueryEngine` session, so
   repeated queries reuse cached plans; ``:stats`` prints the engine
   counters, ``:explain <query>`` the plan, ``:quit`` exits;
+* ``--shards N`` hash-partitions the data and executes across N
+  workers with results identical to serial; ``--parallel`` is
+  shorthand for one shard per core, ``--backend`` picks the worker
+  backend (``processes`` default, ``threads``/``serial`` for
+  debugging);
 * ``--stats`` prints timing plus the engine's cache hit/miss counters.
 
 All execution goes through the session engine: even one-shot queries
@@ -30,11 +35,13 @@ from __future__ import annotations
 
 import argparse
 import csv
+import os
 import sys
 import time
 from typing import Sequence, TextIO
 
 from .core.planner import METHODS
+from .parallel import BACKENDS
 from .core.ranking import (
     AvgRanking,
     LexRanking,
@@ -107,6 +114,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="multi-query mode: read queries from stdin (one per line) through a "
         "shared session engine with plan caching",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hash-partition the data into N shards and execute in parallel "
+        "(results identical to serial; implies --parallel)",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="parallel execution with one shard per CPU core "
+        "(equivalent to --shards <cpu count>)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="processes",
+        help="parallel backend used with --shards/--parallel (default: processes)",
+    )
     parser.add_argument("--explain", action="store_true", help="print the plan and exit")
     parser.add_argument(
         "--stats", action="store_true", help="print timing, cache and data-structure stats"
@@ -141,26 +168,55 @@ def _build_ranking(args: argparse.Namespace) -> RankingFunction:
     return cls(**kwargs)
 
 
+def _shard_count(args: argparse.Namespace) -> int:
+    """Effective shard count: --shards wins, --parallel means one per core."""
+    if args.shards is not None:
+        return max(args.shards, 1)
+    if args.parallel:
+        return max(os.cpu_count() or 1, 1)
+    return 1
+
+
 def _print_explain(engine: QueryEngine, query: str, ranking, args) -> None:
+    shards = _shard_count(args)
     info = engine.explain(
-        query, ranking, method=args.method, epsilon=args.epsilon
+        query,
+        ranking,
+        method=args.method,
+        epsilon=args.epsilon,
+        shards=shards if shards > 1 else None,
     )
     print(f"query class : {info['query class']}")
     print(f"algorithm   : {info['algorithm']}")
+    print(f"plan        : {info['plan']}")
     print(f"ranking     : {info['ranking']}")
     print(f"guarantee   : {info['guarantee']}")
     print(f"|D|         : {info['|D|']}")
+    if "partition attribute" in info:
+        print(f"partition   : hash({info['partition attribute']}) x {info['shards']} shards")
     if info["cached plan"]:
-        print("plan        : cached")
+        print("plan cache  : hit")
 
 
 def _run_one(engine: QueryEngine, query_text: str, ranking, args) -> None:
     """Execute one query through the engine and write CSV to stdout."""
     started = time.perf_counter()
     parsed = engine.parse(query_text)
-    answers = engine.execute(
-        parsed, ranking, k=args.k, method=args.method, epsilon=args.epsilon
-    )
+    shards = _shard_count(args)
+    if shards > 1:
+        answers = engine.execute_parallel(
+            parsed,
+            ranking,
+            shards=shards,
+            backend=args.backend,
+            k=args.k,
+            method=args.method,
+            epsilon=args.epsilon,
+        )
+    else:
+        answers = engine.execute(
+            parsed, ranking, k=args.k, method=args.method, epsilon=args.epsilon
+        )
     elapsed = time.perf_counter() - started
 
     writer = csv.writer(sys.stdout)

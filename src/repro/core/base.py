@@ -9,6 +9,14 @@ two-phase contract:
 * iteration yields :class:`~repro.core.answers.RankedAnswer` objects in
   rank order without duplicates, consuming internal state (one-shot).
 
+The ordering contract is strict and shared by every subclass: answers
+stream sorted ascending by ``(answer.key, answer.values)``, where
+``answer.key`` is the bound ranking's comparable key — a pure function
+of the output values.  The parallel merge layer
+(:mod:`repro.parallel.merge`) and the union enumerator both rely on
+exactly this property to interleave independent streams without
+re-sorting.
+
 This mixin provides the derived conveniences so all enumerators expose
 an identical surface.
 """
@@ -25,21 +33,55 @@ __all__ = ["RankedEnumeratorBase"]
 class RankedEnumeratorBase:
     """Mixin with the derived enumeration helpers.
 
-    Subclasses implement ``__iter__`` (and usually ``preprocess``).
+    Subclasses implement ``__iter__`` (and usually ``preprocess``) and
+    inherit :meth:`top_k` / :meth:`all`.  Delay guarantees are a
+    property of the subclass, not the mixin: after preprocessing,
+    producing the *next* answer costs ``O(|D| log |D|)`` worst case for
+    the acyclic LinDelay algorithm (``O(log |D|)`` for full /
+    free-connex queries), ``O(|D|^{1-ε} log |D|)`` for the star
+    structure, ``O(|D|^{fhw} log |D|)`` for the GHD-based cyclic
+    wrapper, and the worst branch's delay for unions.  Nothing here
+    materialises the full output: space stays bounded by the
+    enumerator's own preprocessing structures plus the live priority
+    queue entries.
+
+    Examples
+    --------
+    Any subclass supports the same access patterns:
+
+    >>> from repro.data import Database
+    >>> from repro.query import parse_query
+    >>> from repro.core.acyclic import AcyclicRankedEnumerator
+    >>> db = Database()
+    >>> _ = db.add_relation("R", ("a", "b"), [(1, 10), (2, 10), (3, 99)])
+    >>> q = parse_query("Q(a1, a2) :- R(a1, p), R(a2, p)")
+    >>> AcyclicRankedEnumerator(q, db).top_k(3)
+    [RankedAnswer((1, 1), score=2.0), RankedAnswer((1, 2), score=3.0), RankedAnswer((2, 1), score=3.0)]
+    >>> len(AcyclicRankedEnumerator(q, db).all())
+    5
     """
 
     def preprocess(self):
-        """Build the enumeration data structure (default: nothing)."""
+        """Build the enumeration data structure (default: nothing).
+
+        Idempotent; iteration calls it implicitly.  This is the phase
+        the paper bounds separately — ``O(|D|)`` for acyclic queries,
+        ``O(|D|^{1+ε})`` for the star structure, ``O(|D|^{fhw})`` for
+        cyclic queries — so callers can measure or amortise it apart
+        from enumeration (the engine's warm plans do exactly that).
+        """
         return self
 
     def __iter__(self) -> Iterator[RankedAnswer]:  # pragma: no cover - interface
+        """Yield distinct answers sorted by ``(rank key, output tuple)``."""
         raise NotImplementedError
 
     def top_k(self, k: int) -> list[RankedAnswer]:
         """The first ``k`` ranked answers (fewer if the output is smaller).
 
         This is the paper's ``LIMIT k`` access pattern: cost scales with
-        ``k`` times the delay, not with the full output.
+        ``k`` times the delay, not with the full output — the whole
+        point of ranked enumeration over materialise-then-sort.
         """
         out: list[RankedAnswer] = []
         if k <= 0:
@@ -51,7 +93,12 @@ class RankedEnumeratorBase:
         return out
 
     def all(self) -> list[RankedAnswer]:
-        """The complete ranked output (no LIMIT clause)."""
+        """The complete ranked output (no LIMIT clause).
+
+        Unlike iteration, this does materialise the output list —
+        ``O(|Q(D)|)`` space in the caller's hands; the enumerator's own
+        extra space stays at its documented bound.
+        """
         return list(self)
 
     def fresh(self):  # pragma: no cover - overridden where reuse matters

@@ -104,6 +104,8 @@ class QueryPlan:
         "epsilon",
         "delta",
         "kwargs",
+        "partition_attribute",
+        "partition_shards",
     )
 
     _CLASSES = {
@@ -138,18 +140,68 @@ class QueryPlan:
         self.epsilon = epsilon
         self.delta = delta
         self.kwargs = dict(kwargs or {})
+        #: Set by :meth:`parallelised` for plans served through the
+        #: sharded executor; ``None`` on plain serial plans.
+        self.partition_attribute: str | None = None
+        self.partition_shards: int | None = None
 
     @property
     def enumerator_class(self) -> type[RankedEnumeratorBase]:
         """The enumerator class this plan instantiates."""
         return self._CLASSES[self.kind]
 
+    @property
+    def is_parallel(self) -> bool:
+        """True when this plan describes a sharded (parallel) execution."""
+        return self.partition_shards is not None and self.partition_shards > 1
+
+    def parallelised(self, attribute: str | None, shards: int) -> "QueryPlan":
+        """A copy of this plan annotated as a sharded execution.
+
+        The copy shares the (immutable-in-practice) join tree / GHD and
+        records the partition attribute and shard count so
+        :meth:`describe` and the engine's ``explain`` report how the
+        data is split.  The serial plan is left untouched — both can
+        sit in the engine's plan cache under different fingerprints.
+        """
+        plan = QueryPlan(
+            self.query,
+            self.ranking,
+            self.method,
+            self.kind,
+            acyclic=self.acyclic,
+            join_tree=self.join_tree,
+            ghd=self.ghd,
+            epsilon=self.epsilon,
+            delta=self.delta,
+            kwargs=self.kwargs,
+        )
+        plan.partition_attribute = attribute
+        plan.partition_shards = shards
+        return plan
+
     def describe(self) -> str:
-        """One-line plan summary (used by ``--explain`` and the engine)."""
+        """One-line plan summary (used by ``--explain`` and the engine).
+
+        Serial plans name the enumerator class, query shape and
+        ranking; parallel plans additionally state the chosen partition
+        attribute and shard count.
+
+        >>> from repro.query import parse_query
+        >>> plan = plan_query(parse_query("Q(a1, a2) :- R(a1, p), R(a2, p)"))
+        >>> plan.describe()
+        'AcyclicRankedEnumerator[acyclic, rank=SUM[w(v) = v, asc]]'
+        >>> plan.parallelised("p", 4).describe()
+        'AcyclicRankedEnumerator[acyclic, rank=SUM[w(v) = v, asc], parallel=hash(p) x 4 shards]'
+        """
         shape = "union" if self.kind == "union" else (
             "acyclic" if self.acyclic else "cyclic"
         )
-        return f"{self.enumerator_class.__name__}[{shape}, rank={self.ranking.describe()}]"
+        base = f"{self.enumerator_class.__name__}[{shape}, rank={self.ranking.describe()}"
+        if self.is_parallel:
+            attr = self.partition_attribute or "?"
+            base += f", parallel=hash({attr}) x {self.partition_shards} shards"
+        return base + "]"
 
     def instantiate(self, db: Database, **overrides: Any) -> RankedEnumeratorBase:
         """Bind the plan to a database: build a fresh one-shot enumerator.
@@ -205,6 +257,22 @@ def plan_query(
     This is the cacheable half of :func:`create_enumerator`: hypergraph
     classification plus join-tree / GHD construction.  See
     :class:`QueryPlan` for what the result carries.
+
+    Cost contract: planning is polynomial in the *query* size only —
+    it never touches a database, so one plan amortises over any number
+    of executions and over databases with compatible schemas.  The
+    delay guarantee of the eventual execution is decided here by the
+    selected family: ``O(|D| log |D|)`` worst-case delay after
+    ``O(|D|)`` preprocessing for acyclic plans (Theorem 1),
+    ``O(|D|^{fhw} log |D|)`` for cyclic plans (Theorem 3), the
+    ``O(|D|^{1-ε})``-delay / ``O(|D|^{1+ε})``-space tradeoff for star
+    plans (Theorem 2), and the worst branch's bound for unions
+    (Theorem 4).
+
+    >>> from repro.query import parse_query
+    >>> plan = plan_query(parse_query("Q(x, y) :- R(x, p), S(p, y)"))
+    >>> plan.kind, plan.acyclic
+    ('acyclic', True)
     """
     if method not in METHODS:
         raise QueryError(f"unknown method {method!r}; choose one of {METHODS}")
@@ -268,6 +336,13 @@ def create_enumerator(
     **kwargs: Any,
 ) -> RankedEnumeratorBase:
     """Build the appropriate ranked enumerator for a query.
+
+    Exactly ``plan_query(...).instantiate(db)``: a fresh one-shot
+    enumerator whose iteration yields distinct answers in rank order
+    under the delay guarantee of the selected family (see
+    :func:`plan_query`).  Use :class:`repro.engine.QueryEngine` instead
+    when executing more than one query against the same data — it
+    caches the plan half of this call.
 
     Parameters
     ----------

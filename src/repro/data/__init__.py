@@ -1,4 +1,5 @@
-"""Relational storage substrate: relations, databases, indexes, CSV IO."""
+"""Relational storage substrate: relations, databases, indexes, CSV IO,
+and hash partitioning for the parallel subsystem."""
 
 from .database import Database
 from .index import HashIndex, SortedColumn, group_by
@@ -8,11 +9,23 @@ from .loader import (
     save_database_dir,
     save_relation_csv,
 )
+from .partition import (
+    QueryPartition,
+    choose_partition_attribute,
+    partition_query,
+    rewrite_for_sharding,
+    stable_shard,
+)
 from .relation import Relation
 
 __all__ = [
     "Database",
     "Relation",
+    "QueryPartition",
+    "choose_partition_attribute",
+    "partition_query",
+    "rewrite_for_sharding",
+    "stable_shard",
     "HashIndex",
     "SortedColumn",
     "group_by",

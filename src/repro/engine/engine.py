@@ -23,6 +23,13 @@ that executes more than one query against the same data — the CLI's
 REPL mode, the benchmark harness's warm sweeps, and every future
 server/sharding layer.
 
+The engine is also the front door to the parallel subsystem
+(:mod:`repro.parallel`): :meth:`QueryEngine.execute_parallel` shards
+one query across workers with results identical to :meth:`execute`
+(shard partitions are cached per session like plans), and
+:meth:`QueryEngine.execute_many` schedules a batch of independent
+queries across a process pool.
+
 Examples
 --------
 >>> from repro.data import Database
@@ -88,6 +95,10 @@ class QueryEngine:
             max_queries, on_evict=self._count_query_eviction
         )
         self._plans: LRUCache = LRUCache(max_plans, on_evict=self._count_plan_eviction)
+        # Shard partitions are as expensive as a reducer pass (O(|D|)),
+        # so they get the same session treatment as plans: LRU-cached,
+        # revalidated against the database generation.
+        self._partitions: LRUCache = LRUCache(max_plans)
         self.last_enumerator: RankedEnumeratorBase | None = None
 
     def _count_query_eviction(self, _key, _value) -> None:
@@ -246,6 +257,206 @@ class QueryEngine:
         return answers
 
     # ------------------------------------------------------------------ #
+    # parallel execution
+    # ------------------------------------------------------------------ #
+    def _partition_for(self, parsed, shards: int, attribute: str | None):
+        """The session's cached :class:`~repro.data.partition.QueryPartition`.
+
+        Keyed on ``(query, shards, attribute)`` and revalidated against
+        :attr:`Database.generation`, exactly like warm plan state: a
+        mutation transparently rebuilds the shards on next use.
+        """
+        from ..data.partition import partition_query
+
+        key = (parsed, shards, attribute)
+        cached = self._partitions.get(key)
+        if cached is not None and cached[0] == self.db.generation:
+            self.stats.partition_hits += 1
+            return cached[1]
+        self.stats.partition_misses += 1
+        partition = partition_query(parsed, self.db, shards, attribute=attribute)
+        self._partitions.put(key, (self.db.generation, partition))
+        return partition
+
+    def prepare_parallel(
+        self,
+        query: QueryInput,
+        ranking: RankingFunction | None = None,
+        *,
+        shards: int,
+        attribute: str | None = None,
+        method: str = "auto",
+        epsilon: float | None = None,
+        delta: int | None = None,
+        **kwargs: Any,
+    ) -> PreparedPlan:
+        """A cached plan annotated with the partition attribute/shards.
+
+        The plan is built for the *rewritten* query
+        (:func:`~repro.data.partition.rewrite_for_sharding` — a pure
+        query transformation, no data touched), which is exactly what
+        the shard workers instantiate: one cache entry serves
+        execution, ``describe()`` and ``explain`` alike.  Parallel
+        plans live in the same LRU as serial ones under a fingerprint
+        extended with the shard configuration, so the serial plan entry
+        is undisturbed.
+        """
+        from ..data.partition import choose_partition_attribute, rewrite_for_sharding
+
+        parsed = self.parse(query)
+        attr = attribute or choose_partition_attribute(parsed, self.db)
+        marker = {"__parallel__": (shards, attr), **kwargs}
+        fingerprint = self._fingerprint(parsed, ranking, method, epsilon, delta, marker)
+        if fingerprint is not None:
+            hit = self._plans.get(fingerprint)
+            if hit is not None:
+                self.stats.plan_hits += 1
+                return hit
+            self.stats.plan_misses += 1
+        else:
+            self.stats.uncacheable += 1
+        started = time.perf_counter()
+        plan = plan_query(
+            rewrite_for_sharding(parsed),
+            ranking,
+            method=method,
+            epsilon=epsilon,
+            delta=delta,
+            **kwargs,
+        ).parallelised(attr, shards)
+        prepared = PreparedPlan(plan, fingerprint, time.perf_counter() - started)
+        if fingerprint is not None:
+            self._plans.put(fingerprint, prepared)
+        return prepared
+
+    def execute_parallel(
+        self,
+        query: QueryInput,
+        ranking: RankingFunction | None = None,
+        *,
+        shards: int,
+        backend: str = "processes",
+        k: int | None = None,
+        attribute: str | None = None,
+        chunk_size: int | None = None,
+        method: str = "auto",
+        epsilon: float | None = None,
+        delta: int | None = None,
+        **kwargs: Any,
+    ) -> list[RankedAnswer]:
+        """Sharded ranked execution: identical results on ``shards`` cores.
+
+        Hash-partitions the database on a planner-chosen join attribute
+        (:func:`repro.data.partition.choose_partition_attribute`), runs
+        one enumerator per shard on the chosen backend (``"serial"`` /
+        ``"threads"`` / ``"processes"``) and recombines the shard
+        streams with an order-preserving merge — answers, scores and
+        order are exactly those of :meth:`execute`.  Partitions are
+        cached per session and revalidated by generation counter.
+
+        ``shards <= 1`` falls through to the serial :meth:`execute`.
+
+        Examples
+        --------
+        >>> from repro.data import Database
+        >>> from repro.engine import QueryEngine
+        >>> db = Database()
+        >>> _ = db.add_relation("R", ("a", "b"), [(1, 10), (2, 10), (3, 99)])
+        >>> engine = QueryEngine(db)
+        >>> q = "Q(a1, a2) :- R(a1, p), R(a2, p)"
+        >>> serial = engine.execute(q)
+        >>> engine.execute_parallel(q, shards=2, backend="serial") == serial
+        True
+        """
+        if shards <= 1:
+            return self.execute(
+                query, ranking, k=k, method=method, epsilon=epsilon, delta=delta, **kwargs
+            )
+        from ..parallel import DEFAULT_CHUNK_SIZE, stream_sharded
+
+        started = time.perf_counter()
+        parsed = self.parse(query)
+        # The cached parallel plan (of the rewritten query) is what the
+        # shard workers instantiate — warm parallel executions skip
+        # classification and join-tree/GHD construction entirely, and
+        # the same entry backs ``explain``'s partition reporting.
+        prepared = self.prepare_parallel(
+            parsed,
+            ranking,
+            shards=shards,
+            attribute=attribute,
+            method=method,
+            epsilon=epsilon,
+            delta=delta,
+            **kwargs,
+        )
+        partition = self._partition_for(parsed, shards, attribute)
+        answers = list(
+            stream_sharded(
+                parsed,
+                self.db,
+                ranking,
+                shards=shards,
+                backend=backend,
+                k=k,
+                chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+                method=method,
+                epsilon=epsilon,
+                delta=delta,
+                partition=partition,
+                plan=prepared.plan,
+                **kwargs,
+            )
+        )
+        self.stats.parallel_executions += 1
+        self.stats.record_execution(repr(parsed), time.perf_counter() - started)
+        return answers
+
+    def execute_many(
+        self,
+        queries: Sequence[QueryInput],
+        ranking: RankingFunction | None = None,
+        *,
+        k: int | None = None,
+        backend: str = "processes",
+        max_workers: int | None = None,
+        method: str = "auto",
+        epsilon: float | None = None,
+        delta: int | None = None,
+    ) -> list[list[RankedAnswer]]:
+        """Execute independent queries as a batch; results in input order.
+
+        With ``backend="processes"`` the queries are scheduled across a
+        worker pool — the database ships once per worker and each
+        worker runs its own session engine, so repeated queries inside
+        the batch hit a prepared-plan cache there too.  Other backends
+        run the batch through this engine serially (full plan-cache
+        reuse, no parallelism).  Every parsed query is also prepared in
+        this session's plan cache, so later :meth:`execute` calls of
+        the same queries start warm.
+        """
+        parsed = [self.parse(q) for q in queries]
+        for p in parsed:
+            self.prepare(p, ranking, method=method, epsilon=epsilon, delta=delta)
+        if backend == "processes" and len(parsed) > 1:
+            from ..parallel import run_many
+
+            started = time.perf_counter()
+            items = [(p, ranking, k, method, epsilon, delta) for p in parsed]
+            results = run_many(self.db, items, max_workers=max_workers)
+            elapsed = time.perf_counter() - started
+            for p in parsed:
+                self.stats.record_execution(repr(p), elapsed / max(len(parsed), 1))
+            self.stats.batch_executions += len(parsed)
+            return results
+        out = [
+            self.execute(p, ranking, k=k, method=method, epsilon=epsilon, delta=delta)
+            for p in parsed
+        ]
+        self.stats.batch_executions += len(parsed)
+        return out
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def explain(
@@ -256,27 +467,48 @@ class QueryEngine:
         method: str = "auto",
         epsilon: float | None = None,
         delta: int | None = None,
+        shards: int | None = None,
+        attribute: str | None = None,
         **kwargs: Any,
     ) -> dict[str, Any]:
         """The plan summary the CLI's ``--explain`` prints.
 
         Returns a dict with the query class, selected algorithm, ranking
         description, the paper's delay guarantee, ``|D|`` and whether
-        the plan came from the cache.
+        the plan came from the cache.  When ``shards > 1`` the plan is
+        the parallel one and the summary additionally carries the
+        chosen ``"partition attribute"`` and ``"shards"``.
         """
         parsed = self.parse(query)
         before_hits = self.stats.plan_hits
-        prepared = self.prepare(
-            parsed, ranking, method=method, epsilon=epsilon, delta=delta, **kwargs
-        )
-        return {
+        if shards is not None and shards > 1:
+            prepared = self.prepare_parallel(
+                parsed,
+                ranking,
+                shards=shards,
+                attribute=attribute,
+                method=method,
+                epsilon=epsilon,
+                delta=delta,
+                **kwargs,
+            )
+        else:
+            prepared = self.prepare(
+                parsed, ranking, method=method, epsilon=epsilon, delta=delta, **kwargs
+            )
+        info = {
             "query class": classify_query(parsed),
             "algorithm": prepared.plan.enumerator_class.__name__,
+            "plan": prepared.plan.describe(),
             "ranking": prepared.plan.ranking.describe(),
             "guarantee": delay_guarantee(parsed),
             "|D|": self.db.size,
             "cached plan": self.stats.plan_hits > before_hits,
         }
+        if prepared.plan.is_parallel:
+            info["partition attribute"] = prepared.plan.partition_attribute
+            info["shards"] = prepared.plan.partition_shards
+        return info
 
     # ------------------------------------------------------------------ #
     # cache control
@@ -288,9 +520,10 @@ class QueryEngine:
             prepared._generation = None
 
     def clear_caches(self) -> None:
-        """Drop every cached parse and plan (counters are kept)."""
+        """Drop every cached parse, plan and partition (counters are kept)."""
         self._queries.clear()
         self._plans.clear()
+        self._partitions.clear()
 
     @property
     def cached_plans(self) -> int:

@@ -63,6 +63,12 @@ class EngineStats:
     uncacheable:
         Prepare calls whose kwargs could not be fingerprinted (planned
         fresh, never cached).
+    partition_hits / partition_misses:
+        Shard-partition cache (query + attribute + shard count ->
+        shard databases, revalidated against the generation counter).
+    parallel_executions / batch_executions:
+        Executions served by :meth:`QueryEngine.execute_parallel` and
+        queries served by :meth:`QueryEngine.execute_many`.
     executions / total_seconds / per_query:
         Execution counts and wall-clock, overall and per query name.
     """
@@ -76,6 +82,10 @@ class EngineStats:
         "query_evictions",
         "invalidations",
         "uncacheable",
+        "partition_hits",
+        "partition_misses",
+        "parallel_executions",
+        "batch_executions",
         "executions",
         "total_seconds",
         "per_query",
@@ -94,6 +104,10 @@ class EngineStats:
         self.query_evictions = 0
         self.invalidations = 0
         self.uncacheable = 0
+        self.partition_hits = 0
+        self.partition_misses = 0
+        self.parallel_executions = 0
+        self.batch_executions = 0
         self.executions = 0
         self.total_seconds = 0.0
         self.per_query: dict[str, QueryTiming] = {}
@@ -130,6 +144,10 @@ class EngineStats:
             "query_evictions": self.query_evictions,
             "invalidations": self.invalidations,
             "uncacheable": self.uncacheable,
+            "partition_hits": self.partition_hits,
+            "partition_misses": self.partition_misses,
+            "parallel_executions": self.parallel_executions,
+            "batch_executions": self.batch_executions,
             "per_query": {
                 name: timing.snapshot() for name, timing in self.per_query.items()
             },

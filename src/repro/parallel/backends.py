@@ -1,0 +1,351 @@
+"""Shard execution backends: serial, threads, processes.
+
+A *shard job* bundles everything one worker needs to enumerate its
+shard: the (rewritten) query, the shard database, the ranking and the
+planner knobs.  Backends turn a list of jobs into a list of ranked
+per-shard streams that :func:`repro.parallel.merge.merge_ranked_streams`
+recombines:
+
+``serial``
+    Enumerate in-process, lazily — no concurrency, no copies.  The
+    reference backend: bit-identical to the others and the easiest to
+    debug or profile.
+``threads``
+    One thread per shard feeding a bounded per-shard queue of answer
+    chunks.  GIL-bound (no CPU speedup) but overlaps any blocking work
+    and exercises the chunk protocol cheaply; meant for debugging the
+    process backend without pickling.
+``processes``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` with one worker
+    per shard; each worker streams chunks of plain ``(values, score,
+    key)`` triples through its own bounded manager queue and the parent
+    rebuilds :class:`~repro.core.answers.RankedAnswer` objects as it
+    merges.  This is the backend that uses more than one core.
+
+Chunked streaming keeps the pipeline incremental in both directions:
+the parent can emit the first merged answers while shards are still
+enumerating, and the bounded per-shard queues apply backpressure — the
+parent holds at most one in-flight chunk per stream, a worker at most
+a fixed number of queued chunks, so no side ever buffers an unbounded
+output.  ``limit`` caps each worker at the global ``k`` — a shard
+never needs to produce more than ``k`` answers for a correct global
+top-``k``, because a shard stream is a subsequence of the global
+order.
+
+Payloads for the process backend must be picklable (true for the whole
+query/data model and every shipped ranking; a ``CallableWeight``
+wrapping a lambda is the known exception — use ``serial``/``threads``
+or a named function there).
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from itertools import islice
+from typing import Any, Iterator, Sequence
+
+from ..core.answers import RankedAnswer
+from ..core.ranking import RankingFunction
+from ..data.database import Database
+from ..errors import ReproError
+from ..query.query import JoinProjectQuery, UnionQuery
+
+__all__ = ["BACKENDS", "ShardJob", "ShardStreams", "open_shard_streams", "run_many"]
+
+BACKENDS = ("serial", "threads", "processes")
+
+#: Answers per message on the chunk protocol.  Large enough to amortise
+#: queue/pickle overhead, small enough to keep the pipeline incremental.
+DEFAULT_CHUNK_SIZE = 512
+
+_QUEUE_DEPTH_PER_SHARD = 8  # backpressure bound, in chunks
+
+
+class ShardJob:
+    """One worker's unit of work: enumerate one shard of one query.
+
+    ``plan`` carries the data-independent :class:`~repro.core.planner.
+    QueryPlan` of the (rewritten) query, built **once** by the caller —
+    workers only instantiate it against their shard database, so a
+    ``k``-shard execution plans once, not ``k`` times.  Without a plan
+    the job falls back to per-worker planning (still correct; used by
+    tests driving the backends directly).
+    """
+
+    __slots__ = ("query", "db", "ranking", "method", "epsilon", "delta", "kwargs", "limit", "plan")
+
+    def __init__(
+        self,
+        query: JoinProjectQuery | UnionQuery,
+        db: Database,
+        ranking: RankingFunction | None = None,
+        *,
+        method: str = "auto",
+        epsilon: float | None = None,
+        delta: int | None = None,
+        kwargs: dict[str, Any] | None = None,
+        limit: int | None = None,
+        plan=None,
+    ):
+        self.query = query
+        self.db = db
+        self.ranking = ranking
+        self.method = method
+        self.epsilon = epsilon
+        self.delta = delta
+        self.kwargs = dict(kwargs or {})
+        self.limit = limit
+        self.plan = plan
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardJob({self.query.name!r}, |D_s|={self.db.size}, limit={self.limit})"
+
+
+def _enumerate_shard(job: ShardJob) -> Iterator[RankedAnswer]:
+    """Run one shard in the current process (all backends)."""
+    if job.plan is not None:
+        enum = job.plan.instantiate(job.db)
+    else:
+        from ..core.planner import create_enumerator
+
+        enum = create_enumerator(
+            job.query,
+            job.db,
+            job.ranking,
+            method=job.method,
+            epsilon=job.epsilon,
+            delta=job.delta,
+            **job.kwargs,
+        )
+    stream: Iterator[RankedAnswer] = iter(enum)
+    if job.limit is not None:
+        stream = islice(stream, job.limit)
+    return stream
+
+
+class ShardStreams:
+    """Per-shard ranked streams plus the resources backing them.
+
+    Use as a context manager (or call :meth:`close`) so worker pools
+    and manager processes are torn down even when the consumer stops
+    early.
+    """
+
+    def __init__(self, streams: list[Iterator[RankedAnswer]], close=None):
+        self.streams = streams
+        self._close = close
+
+    def close(self) -> None:
+        if self._close is not None:
+            close, self._close = self._close, None
+            close()
+
+    def __enter__(self) -> "ShardStreams":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# threads backend
+# --------------------------------------------------------------------- #
+def _thread_producer(job: ShardJob, out: queue_mod.Queue, chunk_size: int) -> None:
+    chunk: list[RankedAnswer] = []
+    try:
+        for answer in _enumerate_shard(job):
+            chunk.append(answer)
+            if len(chunk) >= chunk_size:
+                out.put(("chunk", chunk))
+                chunk = []
+        if chunk:
+            out.put(("chunk", chunk))
+        out.put(("done", None))
+    except BaseException as exc:  # propagated to the consumer
+        out.put(("error", exc))
+
+
+def _drain_thread_queue(out: queue_mod.Queue) -> Iterator[RankedAnswer]:
+    while True:
+        kind, payload = out.get()
+        if kind == "chunk":
+            yield from payload
+        elif kind == "done":
+            return
+        else:
+            raise payload
+
+
+def _open_threads(jobs: Sequence[ShardJob], chunk_size: int) -> ShardStreams:
+    queues = [
+        queue_mod.Queue(maxsize=_QUEUE_DEPTH_PER_SHARD) for _ in jobs
+    ]
+    threads = [
+        threading.Thread(
+            target=_thread_producer, args=(job, out, chunk_size), daemon=True
+        )
+        for job, out in zip(jobs, queues)
+    ]
+    for t in threads:
+        t.start()
+
+    def close() -> None:
+        # Unblock producers stuck on a full queue; the daemon threads
+        # then run to completion (or die with the interpreter if the
+        # consumer abandoned a large enumeration mid-stream).
+        for out in queues:
+            try:
+                while True:
+                    out.get_nowait()
+            except queue_mod.Empty:
+                pass
+
+    return ShardStreams(
+        [_drain_thread_queue(out) for out in queues], close=close
+    )
+
+
+# --------------------------------------------------------------------- #
+# processes backend
+# --------------------------------------------------------------------- #
+def _process_producer(job: ShardJob, out, chunk_size: int) -> None:
+    """Worker body: stream ``(values, score, key)`` chunks to the parent."""
+    chunk: list[tuple] = []
+    try:
+        for answer in _enumerate_shard(job):
+            chunk.append((answer.values, answer.score, answer.key))
+            if len(chunk) >= chunk_size:
+                out.put(("chunk", chunk))
+                chunk = []
+        if chunk:
+            out.put(("chunk", chunk))
+        out.put(("done", None))
+    except BaseException as exc:
+        try:
+            out.put(("error", exc))
+        except Exception:  # the exception itself does not pickle
+            out.put(("error", ReproError(f"shard worker failed: {exc!r}")))
+
+
+def _drain_process_queue(out) -> Iterator[RankedAnswer]:
+    while True:
+        kind, payload = out.get()
+        if kind == "chunk":
+            for values, score, key in payload:
+                yield RankedAnswer(values, score, key=key)
+        elif kind == "done":
+            return
+        else:
+            raise payload
+
+
+def _open_processes(jobs: Sequence[ShardJob], chunk_size: int) -> ShardStreams:
+    import multiprocessing as mp
+
+    # One worker process and one bounded queue *per shard*.  The merge
+    # needs the head of every stream before it can emit anything, so a
+    # pool smaller than the shard count would deadlock (an unscheduled
+    # shard's queue never fills while a scheduled one blocks on put);
+    # per-shard queues are what makes the backpressure bound real — the
+    # parent holds at most one in-flight chunk per stream and each
+    # worker at most _QUEUE_DEPTH_PER_SHARD chunks.  Oversharding past
+    # the core count is therefore safe, just not faster.
+    manager = mp.Manager()
+    queues = [manager.Queue(maxsize=_QUEUE_DEPTH_PER_SHARD) for _ in jobs]
+    executor = ProcessPoolExecutor(max_workers=len(jobs))
+    futures = [
+        executor.submit(_process_producer, job, out, chunk_size)
+        for job, out in zip(jobs, queues)
+    ]
+
+    def close() -> None:
+        for future in futures:
+            future.cancel()
+        executor.shutdown(wait=False, cancel_futures=True)
+        try:
+            manager.shutdown()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+    return ShardStreams(
+        [_drain_process_queue(out) for out in queues], close=close
+    )
+
+
+def open_shard_streams(
+    jobs: Sequence[ShardJob],
+    *,
+    backend: str = "processes",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> ShardStreams:
+    """Launch ``jobs`` on the chosen backend and return their streams.
+
+    The returned :class:`ShardStreams` owns the worker resources; close
+    it (or use ``with``) once the merged stream is consumed.
+    """
+    if backend not in BACKENDS:
+        raise ReproError(f"unknown parallel backend {backend!r}; choose one of {BACKENDS}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if not jobs:
+        return ShardStreams([])
+    if backend == "serial" or len(jobs) == 1:
+        return ShardStreams([_enumerate_shard(job) for job in jobs])
+    if backend == "threads":
+        return _open_threads(jobs, chunk_size)
+    return _open_processes(jobs, chunk_size)
+
+
+# --------------------------------------------------------------------- #
+# batch execution (independent queries across the pool)
+# --------------------------------------------------------------------- #
+_BATCH_ENGINE = None
+
+
+def _init_batch_worker(db: Database) -> None:
+    """Pool initializer: one session engine per worker process.
+
+    The database is pickled once per worker (not once per query) and
+    the worker-local :class:`~repro.engine.QueryEngine` gives repeated
+    queries within a batch the same prepared-plan cache hits they would
+    get in a serial session.
+    """
+    global _BATCH_ENGINE
+    from ..engine import QueryEngine
+
+    _BATCH_ENGINE = QueryEngine(db)
+
+
+def _run_batch_query(item: tuple) -> list[tuple]:
+    query, ranking, k, method, epsilon, delta = item
+    answers = _BATCH_ENGINE.execute(
+        query, ranking, k=k, method=method, epsilon=epsilon, delta=delta
+    )
+    return [(a.values, a.score, a.key) for a in answers]
+
+
+def run_many(
+    db: Database,
+    items: Sequence[tuple],
+    *,
+    max_workers: int | None = None,
+) -> list[list[RankedAnswer]]:
+    """Execute independent ``(query, ranking, k, method, epsilon, delta)``
+    requests across a process pool; results come back in input order.
+    """
+    if not items:
+        return []
+    workers = max_workers or min(len(items), os.cpu_count() or 1)
+    with ProcessPoolExecutor(
+        max_workers=max(1, workers),
+        initializer=_init_batch_worker,
+        initargs=(db,),
+    ) as executor:
+        raw = list(executor.map(_run_batch_query, items))
+    return [
+        [RankedAnswer(values, score, key=key) for values, score, key in rows]
+        for rows in raw
+    ]

@@ -7,12 +7,16 @@ import pytest
 import repro
 import repro.core.planner
 import repro.engine.engine
+import repro.core.base
 import repro.core.lexicographic
 import repro.core.ucq
 import repro.core.acyclic
 import repro.data.index
+import repro.data.partition
 import repro.data.relation
 import repro.data.database
+import repro.parallel.executor
+import repro.parallel.merge
 import repro.query.parser
 import repro.query.query
 import repro.query.hypergraph
@@ -22,12 +26,16 @@ MODULES = [
     repro,
     repro.core.planner,
     repro.engine.engine,
+    repro.core.base,
     repro.core.lexicographic,
     repro.core.ucq,
     repro.core.acyclic,
     repro.data.index,
+    repro.data.partition,
     repro.data.relation,
     repro.data.database,
+    repro.parallel.executor,
+    repro.parallel.merge,
     repro.query.parser,
     repro.query.query,
     repro.query.hypergraph,

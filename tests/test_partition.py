@@ -1,0 +1,161 @@
+"""Hash partitioning: attribute choice, shard coverage, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database
+from repro.data.partition import (
+    choose_partition_attribute,
+    partition_query,
+    stable_shard,
+)
+from repro.errors import SchemaError
+from repro.query import parse_query
+from repro.query.query import UnionQuery
+
+
+@pytest.fixture
+def edge_db() -> Database:
+    db = Database()
+    db.add_relation(
+        "E", ("a", "p"), [(i, i % 5) for i in range(40)] + [(100, 0), (101, 0)]
+    )
+    db.add_relation("W", ("p", "w"), [(p, p * 10) for p in range(5)])
+    return db
+
+
+TWO_HOP = "Q(a1, a2) :- E(a1, p), E(a2, p)"
+THREE_HOP = "Q(a1, p2) :- E(a1, p1), E(a2, p1), E(a2, p2)"
+
+
+class TestChooseAttribute:
+    def test_picks_shared_join_variable(self, edge_db):
+        q = parse_query(TWO_HOP)
+        assert choose_partition_attribute(q, edge_db) == "p"
+
+    def test_three_hop_picks_a_two_atom_variable(self, edge_db):
+        q = parse_query(THREE_HOP)
+        assert choose_partition_attribute(q, edge_db) in {"a2", "p1"}
+
+    def test_mixed_relations_prefers_coverage(self, edge_db):
+        q = parse_query("Q(a, w) :- E(a, p), W(p, w)")
+        assert choose_partition_attribute(q, edge_db) == "p"
+
+    def test_structural_choice_without_db(self):
+        q = parse_query(TWO_HOP)
+        assert choose_partition_attribute(q) == "p"
+
+
+class TestStableShard:
+    def test_ints_spread_consecutively(self):
+        assert [stable_shard(v, 4) for v in range(4)] == [0, 1, 2, 3]
+
+    def test_equal_values_hash_equal_across_numeric_types(self):
+        # 10 == 10.0 == (not a bool but) 1 == True: equal join values
+        # must land in the same shard or answers are silently lost.
+        for shards in (2, 3, 7):
+            assert stable_shard(10, shards) == stable_shard(10.0, shards)
+            assert stable_shard(1, shards) == stable_shard(True, shards)
+            assert stable_shard(0, shards) == stable_shard(0.0, shards)
+            assert stable_shard(-3, shards) == stable_shard(-3.0, shards)
+
+    def test_deterministic_for_strings(self):
+        # Unlike builtin hash(), assignment must not depend on the
+        # per-process hash seed: recompute through a subprocess.
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ, PYTHONHASHSEED="12345", PYTHONPATH=src)
+        code = (
+            "from repro.data.partition import stable_shard;"
+            "print(stable_shard('alice', 7), stable_shard('bob', 7))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout.split()
+        assert [int(x) for x in out] == [stable_shard("alice", 7), stable_shard("bob", 7)]
+
+
+class TestPartitionQuery:
+    def test_shards_cover_every_tuple_exactly_once(self, edge_db):
+        q = parse_query(TWO_HOP)
+        part = partition_query(q, edge_db, 4)
+        assert part.attribute == "p"
+        assert part.shards == 4
+        # Both atoms bind p -> both are partitioned, nothing replicated.
+        assert len(part.partitioned_aliases) == 2
+        assert part.replicated_aliases == ()
+        for alias_rel in ("__shard_E", "__shard_E#2"):
+            rows = [row for db in part.databases for row in db[alias_rel].tuples]
+            assert sorted(rows) == sorted(edge_db["E"].tuples)
+
+    def test_partitioned_rows_agree_with_stable_shard(self, edge_db):
+        q = parse_query(TWO_HOP)
+        part = partition_query(q, edge_db, 3)
+        for s, db in enumerate(part.databases):
+            for row in db["__shard_E"].tuples:
+                assert stable_shard(row[1], 3) == s
+
+    def test_atom_without_attribute_is_replicated(self, edge_db):
+        q = parse_query(THREE_HOP)
+        part = partition_query(q, edge_db, 2, attribute="p1")
+        assert set(part.partitioned_aliases) == {"E", "E#2"}
+        assert set(part.replicated_aliases) == {"E#3"}
+        for db in part.databases:
+            assert sorted(db["__shard_E#3"].tuples) == sorted(edge_db["E"].tuples)
+
+    def test_single_shard_is_full_copy(self, edge_db):
+        q = parse_query(TWO_HOP)
+        part = partition_query(q, edge_db, 1)
+        (only,) = part.databases
+        assert sorted(only["__shard_E"].tuples) == sorted(edge_db["E"].tuples)
+
+    def test_rewritten_query_preserves_head_and_structure(self, edge_db):
+        q = parse_query(THREE_HOP)
+        part = partition_query(q, edge_db, 2)
+        assert part.query.head == q.head
+        assert [a.variables for a in part.query.atoms] == [
+            a.variables for a in q.atoms
+        ]
+
+    def test_union_branches_get_distinct_relations(self, edge_db):
+        q = parse_query("Q(x) :- E(x, p) ; Q(x) :- W(p2, x)")
+        assert isinstance(q, UnionQuery)
+        part = partition_query(q, edge_db, 2)
+        names = {rel.name for db in part.databases for rel in db}
+        assert names == {"__b0_E", "__b1_W"}
+
+    def test_unknown_attribute_is_rejected(self, edge_db):
+        q = parse_query(TWO_HOP)
+        with pytest.raises(SchemaError):
+            partition_query(q, edge_db, 2, attribute="nope")
+
+    def test_bad_shard_count_is_rejected(self, edge_db):
+        q = parse_query(TWO_HOP)
+        with pytest.raises(ValueError):
+            partition_query(q, edge_db, 0)
+
+    def test_skewed_keys_land_in_one_shard(self):
+        db = Database()
+        db.add_relation("E", ("a", "p"), [(i, 7) for i in range(10)])
+        q = parse_query(TWO_HOP)
+        part = partition_query(q, db, 4)
+        sizes = part.shard_sizes()
+        target = stable_shard(7, 4)
+        assert sizes[target] == 20  # both atoms' copies
+        assert sum(sizes) == 20
+
+    def test_describe_mentions_attribute_and_shards(self, edge_db):
+        q = parse_query(TWO_HOP)
+        part = partition_query(q, edge_db, 4)
+        text = part.describe()
+        assert "p" in text and "4" in text

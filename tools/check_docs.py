@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Documentation gate: dead-link and executable-example checks.
+
+Two invariants over ``docs/*.md`` and ``README.md``:
+
+1. **No dead relative links** — every markdown link whose target is a
+   relative path (not ``http(s)://``, ``mailto:`` or a pure ``#anchor``)
+   must resolve to an existing file or directory, anchors stripped.
+2. **Every ```python block executes** — fenced python examples are run
+   top to bottom, per file, in one shared namespace (so a later block
+   may use imports from an earlier one).  Docs that drift from the API
+   fail CI instead of lying to readers.
+
+Run:  python tools/check_docs.py [files...]
+
+With no arguments, checks README.md plus every ``*.md`` under docs/.
+Exits non-zero listing every failure.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import traceback
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+#: Link schemes that are out of scope for the dead-link check.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def default_files() -> list[str]:
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs):
+        files.extend(
+            os.path.join(docs, name)
+            for name in sorted(os.listdir(docs))
+            if name.endswith(".md")
+        )
+    return files
+
+
+def check_links(path: str, text: str) -> list[str]:
+    errors = []
+    base = os.path.dirname(path)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(base, target.split("#", 1)[0])
+            )
+            if not os.path.exists(resolved):
+                errors.append(
+                    f"{os.path.relpath(path, REPO_ROOT)}:{lineno}: dead link "
+                    f"-> {target}"
+                )
+    return errors
+
+
+def python_blocks(text: str) -> list[tuple[int, str]]:
+    """``(start line, source)`` for every fenced python block."""
+    blocks = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = FENCE_RE.match(lines[i])
+        if match and match.group(1) == "python":
+            start = i + 1
+            body = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                body.append(lines[i])
+                i += 1
+            blocks.append((start + 1, "\n".join(body)))
+        i += 1
+    return blocks
+
+
+def check_examples(path: str, text: str) -> list[str]:
+    errors = []
+    namespace: dict = {"__name__": "__docs__"}
+    for lineno, source in python_blocks(text):
+        try:
+            exec(compile(source, f"{path}:{lineno}", "exec"), namespace)
+        except Exception:
+            tb = traceback.format_exc(limit=2).strip().splitlines()[-1]
+            errors.append(
+                f"{os.path.relpath(path, REPO_ROOT)}:{lineno}: python block "
+                f"failed: {tb}"
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = (argv if argv is not None else sys.argv[1:]) or None
+    files = [os.path.abspath(f) for f in args] if args else default_files()
+    errors: list[str] = []
+    checked_blocks = 0
+    for path in files:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        errors.extend(check_links(path, text))
+        checked_blocks += len(python_blocks(text))
+        errors.extend(check_examples(path, text))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"\n{len(errors)} documentation error(s)", file=sys.stderr)
+        return 1
+    print(
+        f"docs ok: {len(files)} file(s), {checked_blocks} python block(s) "
+        "executed, no dead links"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
