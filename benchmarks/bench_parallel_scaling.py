@@ -33,6 +33,7 @@ shards, skipped with a notice otherwise.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -46,13 +47,19 @@ from repro.parallel import execute_sharded  # noqa: E402
 from repro.workloads import make_memetracker_like, two_hop  # noqa: E402
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+#: Machine-readable curve, always written (ROADMAP bench item): the
+#: measured speedups land here even on boxes where the wall-clock gate
+#: cannot be enforced, so any multi-core run leaves a record behind.
+CURVE_JSON = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_parallel.json")
 
 #: The acceptance target: speedup at the highest shard count, given
 #: enough cores (ISSUE 2 asks for >= 2.5x at 4 shards).
 TARGET_SPEEDUP = 2.5
 
 
-def run_curve(scale: float, shard_counts: list[int], backend: str) -> tuple[str, dict]:
+def run_curve(
+    scale: float, shard_counts: list[int], backend: str
+) -> tuple[str, dict, dict]:
     workload = make_memetracker_like(scale=scale, seed=2)
     spec = two_hop()
     ranking = workload.ranking(spec, kind="sum")
@@ -73,6 +80,7 @@ def run_curve(scale: float, shard_counts: list[int], backend: str) -> tuple[str,
         )
     ]
     speedups: dict[int, float] = {}
+    shard_seconds: dict[int, float] = {}
     for shards in shard_counts:
         started = time.perf_counter()
         answers = execute_sharded(
@@ -90,6 +98,7 @@ def run_curve(scale: float, shard_counts: list[int], backend: str) -> tuple[str,
                 "diverged from the serial ranked order"
             )
         speedups[shards] = serial_seconds / seconds if seconds else float("inf")
+        shard_seconds[shards] = seconds
         rows.append(
             (
                 f"shards={shards}",
@@ -107,7 +116,26 @@ def run_curve(scale: float, shard_counts: list[int], backend: str) -> tuple[str,
         rows,
         note=f"partition: {partition.describe()}",
     )
-    return table, speedups
+    record = {
+        "workload": "memetracker-like two-hop",
+        "scale": scale,
+        "|D|": workload.db.size,
+        "answers": len(serial),
+        "backend": backend,
+        "cores": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 6),
+        "curve": [
+            {
+                "shards": shards,
+                "seconds": round(shard_seconds[shards], 6),
+                "speedup": round(speedups[shards], 4),
+                "identical_to_serial": True,  # enforced above
+            }
+            for shards in shard_counts
+        ],
+        "partition": partition.describe(),
+    }
+    return table, speedups, record
 
 
 def main(argv=None) -> int:
@@ -141,7 +169,7 @@ def main(argv=None) -> int:
     backend = args.backend or ("serial" if args.quick else "processes")
     shard_counts = args.shards or ([1, 2] if args.quick else [1, 2, 4])
 
-    table, speedups = run_curve(scale, shard_counts, backend)
+    table, speedups, record = run_curve(scale, shard_counts, backend)
     print(table)
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -153,6 +181,23 @@ def main(argv=None) -> int:
     min_speedup = args.min_speedup
     if min_speedup is None and not args.quick and cores >= top and backend == "processes":
         min_speedup = TARGET_SPEEDUP
+    # The measured curve is always recorded, gate or no gate: a 1-core
+    # box still documents output identity and the overhead it paid, and
+    # any multi-core run closes the ROADMAP item with real numbers.
+    record["quick"] = bool(args.quick)
+    record["gate"] = {
+        "target_speedup": min_speedup,
+        "enforced": min_speedup is not None,
+        "reason_skipped": (
+            None
+            if min_speedup is not None
+            else f"{cores} core(s) for {top} shards / quick mode"
+        ),
+    }
+    with open(os.path.normpath(CURVE_JSON), "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"curve written to {os.path.normpath(CURVE_JSON)}")
     if min_speedup is not None:
         if speedups[top] < min_speedup:
             print(

@@ -44,6 +44,14 @@ def atom_instances(
     ``atom.variables``.  Set semantics: duplicate rows are dropped by
     default, matching the paper's model (a database is a *set* of
     tuples).
+
+    Physically this binds each atom through its relation's scan access
+    path (:meth:`repro.data.relation.Relation.instance_rows`), whose
+    select/project views are cached per atom signature — repeated cold
+    executions of the same query re-project nothing.  The returned
+    lists are shared cache state: rebind or filter them into fresh
+    lists, never mutate them in place (``full_reduce`` and every
+    enumerator already copy before filtering).
     """
     out: Instances = {}
     for atom in query.atoms:
@@ -53,25 +61,9 @@ def atom_instances(
                 f"atom {atom!r} has {atom.arity} terms but relation "
                 f"{rel.name!r} has arity {rel.arity}"
             )
-        rows: list[Row]
-        selections = atom.selections
-        var_positions = atom.variable_positions
-        if selections or len(var_positions) != rel.arity:
-            rows = []
-            for r in rel.tuples:
-                if all(r[i] == v for i, v in selections):
-                    rows.append(tuple(r[i] for i in var_positions))
-        else:
-            rows = list(rel.tuples)
-        if distinct:
-            seen: set[Row] = set()
-            uniq: list[Row] = []
-            for r in rows:
-                if r not in seen:
-                    seen.add(r)
-                    uniq.append(r)
-            rows = uniq
-        out[atom.alias] = rows
+        out[atom.alias] = rel.instance_rows(
+            atom.variable_positions, atom.selections, distinct=distinct
+        )
     return out
 
 

@@ -24,7 +24,10 @@ Usage (also via ``python -m repro``)::
   shorthand for one shard per core, ``--backend`` picks the worker
   backend (``processes`` default, ``threads``/``serial`` for
   debugging);
-* ``--stats`` prints timing plus the engine's cache hit/miss counters.
+* ``--stats`` prints timing plus the engine's cache hit/miss counters;
+* ``--format csv|json|table`` picks the result serialisation: CSV rows
+  (default), one JSON document (for benchmarks and downstream tools),
+  or an aligned human-readable table.
 
 All execution goes through the session engine: even one-shot queries
 are served by a :class:`~repro.engine.QueryEngine`, which is also the
@@ -35,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import os
 import sys
 import time
@@ -134,6 +138,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="processes",
         help="parallel backend used with --shards/--parallel (default: processes)",
     )
+    parser.add_argument(
+        "--format",
+        choices=("csv", "json", "table"),
+        default="csv",
+        help="result output format: csv (default, machine-readable), json "
+        "(one document with head/answers/score per answer), or table "
+        "(aligned human-readable columns)",
+    )
     parser.add_argument("--explain", action="store_true", help="print the plan and exit")
     parser.add_argument(
         "--stats", action="store_true", help="print timing, cache and data-structure stats"
@@ -219,11 +231,7 @@ def _run_one(engine: QueryEngine, query_text: str, ranking, args) -> None:
         )
     elapsed = time.perf_counter() - started
 
-    writer = csv.writer(sys.stdout)
-    if not args.no_header:
-        writer.writerow(list(parsed.head) + ["score"])
-    for answer in answers:
-        writer.writerow(list(answer.values) + [answer.score])
+    _write_answers(sys.stdout, parsed.head, answers, args)
 
     if args.stats:
         print(f"# {len(answers)} answers in {elapsed:.4f}s", file=sys.stderr)
@@ -231,6 +239,62 @@ def _run_one(engine: QueryEngine, query_text: str, ranking, args) -> None:
         stats = getattr(enum, "stats", None)
         if stats is not None:
             print(f"# stats: {stats.snapshot()}", file=sys.stderr)
+
+
+def _json_value(value):
+    """JSON-safe view of an answer component (tuples become lists)."""
+    if isinstance(value, tuple):
+        return [_json_value(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _write_answers(out: TextIO, head: Sequence[str], answers, args) -> None:
+    """Serialise one result set in the requested ``--format``.
+
+    ``csv`` is the machine-readable default (one row per answer, score
+    last); ``json`` emits a single document benchmarks and downstream
+    tools can load without parsing a table; ``table`` prints aligned
+    columns for humans.  ``--no-header`` drops the csv header row and
+    the table rule line.
+    """
+    if args.format == "json":
+        doc = {
+            "head": list(head),
+            "answers": [
+                {
+                    "values": _json_value(answer.values),
+                    "score": _json_value(answer.score),
+                }
+                for answer in answers
+            ],
+            "count": len(answers),
+        }
+        json.dump(doc, out, indent=2, sort_keys=False)
+        out.write("\n")
+        return
+    if args.format == "table":
+        header = list(head) + ["score"]
+        rows = [
+            [str(v) for v in answer.values] + [str(answer.score)]
+            for answer in answers
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+            for i in range(len(header))
+        ]
+        if not args.no_header:
+            out.write("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip() + "\n")
+            out.write("  ".join("-" * w for w in widths) + "\n")
+        for r in rows:
+            out.write("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip() + "\n")
+        return
+    writer = csv.writer(out)
+    if not args.no_header:
+        writer.writerow(list(head) + ["score"])
+    for answer in answers:
+        writer.writerow(list(answer.values) + [answer.score])
 
 
 def _print_engine_stats(engine: QueryEngine) -> None:

@@ -28,11 +28,11 @@ class Database:
     ('a', 'b')
     """
 
-    __slots__ = ("_relations", "_structure_generation")
+    __slots__ = ("_relations", "_generation", "__weakref__")
 
     def __init__(self, relations: Iterable[Relation] = ()):
         self._relations: dict[str, Relation] = {}
-        self._structure_generation: int = 0
+        self._generation: int = 0
         for rel in relations:
             self.add(rel)
 
@@ -51,9 +51,18 @@ class Database:
         if existing is not None and existing is not relation:
             raise SchemaError(f"database already has a relation named {relation.name!r}")
         if existing is None:
-            self._structure_generation += 1
+            # One bump for the structural change plus the relation's own
+            # mutation history, matching what a sum over relations would
+            # report; from here on the relation pushes its mutations to
+            # us, so reading ``generation`` stays O(1).
+            self._generation += 1 + relation.generation
+            relation._attach(self)
         self._relations[relation.name] = relation
         return relation
+
+    def _relation_mutated(self) -> None:
+        """Backref hook: one of our relations appended a tuple."""
+        self._generation += 1
 
     def add_relation(
         self, name: str, attrs: Sequence[str], tuples: Iterable[Sequence[Value]] = ()
@@ -108,11 +117,13 @@ class Database:
         relation's own :attr:`~repro.data.relation.Relation.generation`,
         so any ``add``/``extend``/``add_relation`` changes the value.
         Cache layers (:mod:`repro.engine`) snapshot this to detect
-        staleness without hashing tuple lists.
+        staleness without hashing tuple lists.  The counter is
+        maintained incrementally — relations push mutations through a
+        backref — so reading it is O(1), not O(#relations); warm-cache
+        revalidation happens on every execution and used to pay the sum
+        each time.
         """
-        return self._structure_generation + sum(
-            r.generation for r in self._relations.values()
-        )
+        return self._generation
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         inner = ", ".join(f"{r.name}({len(r)})" for r in self)
@@ -122,11 +133,24 @@ class Database:
     # convenience
     # ------------------------------------------------------------------ #
     def copy(self) -> "Database":
-        """Deep-ish copy: fresh relation objects, fresh tuple lists."""
+        """Deep-ish copy: fresh relation objects, fresh storage."""
         db = Database()
         for rel in self:
-            db.add_relation(rel.name, rel.attrs, list(rel.tuples))
+            db.add_relation(rel.name, rel.attrs, list(rel))
         return db
+
+    # ------------------------------------------------------------------ #
+    # pickling (worker shipping): weak backrefs are rebuilt on arrival
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        return (list(self._relations.values()), self._generation)
+
+    def __setstate__(self, state) -> None:
+        relations, generation = state
+        self._relations = {rel.name: rel for rel in relations}
+        self._generation = generation
+        for rel in relations:
+            rel._attach(self)
 
     def stats(self) -> dict[str, int]:
         """Per-relation cardinalities plus the total size."""

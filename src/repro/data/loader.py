@@ -91,7 +91,7 @@ def save_relation_csv(relation: Relation, path: str) -> None:
     with open(path, "w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(relation.attrs)
-        writer.writerows(relation.tuples)
+        writer.writerows(relation.scan().rows())
 
 
 def load_database_dir(

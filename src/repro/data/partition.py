@@ -259,9 +259,16 @@ def rewrite_for_sharding(
 def _partition_rows(
     rel: Relation, column: int, shards: int
 ) -> list[list[tuple]]:
+    """Split rows by the stable hash of one column.
+
+    Reads the partition column directly off the columnar scan path (one
+    list, no per-row tuple indexing); encoded-database callers get
+    dense-int keys here, which `_stable_hash` maps to themselves.
+    """
     buckets: list[list[tuple]] = [[] for _ in range(shards)]
-    for row in rel.tuples:
-        buckets[_stable_hash(row[column]) % shards].append(row)
+    scan = rel.scan()
+    for key, row in zip(scan.column(column), scan.rows()):
+        buckets[_stable_hash(key) % shards].append(row)
     return buckets
 
 

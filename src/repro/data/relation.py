@@ -1,11 +1,16 @@
 """In-memory relations.
 
-A :class:`Relation` is the storage unit of the library: a named, ordered
-multiset of fixed-arity tuples together with a schema (a sequence of
-distinct attribute names).  Relations are deliberately simple — plain
-Python tuples in a list — because the enumeration algorithms in
-:mod:`repro.core` only need sequential scans and hash lookups, both of
-which the :mod:`repro.data.index` module layers on top.
+A :class:`Relation` is the *logical* storage unit of the library: a
+named, ordered multiset of fixed-arity tuples together with a schema (a
+sequence of distinct attribute names).  The *physical* half lives in
+:mod:`repro.storage`: tuples are held column-major in a
+:class:`~repro.storage.columnstore.ColumnStore`, and every derived read
+structure — scans, hash indexes, sorted views — is an
+:class:`~repro.storage.paths.AccessPath` memoised per relation and
+invalidated by the store's version counter.  This module and the
+storage package are the only places allowed to touch physical storage
+directly; everything else goes through the access-path methods below
+(``tools/check_layering.py`` enforces it).
 
 Attribute names on the relation itself are *storage* names; queries bind
 columns positionally to query variables through :class:`repro.query.query.Atom`,
@@ -15,9 +20,17 @@ so the same relation can be used under many different variable names
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..errors import SchemaError
+from ..storage.columnstore import ColumnStore
+from ..storage.paths import (
+    AccessPathCache,
+    HashIndexPath,
+    ScanPath,
+    SortedViewPath,
+)
 
 __all__ = ["Relation"]
 
@@ -60,7 +73,7 @@ class Relation:
     [1, 2]
     """
 
-    __slots__ = ("name", "attrs", "tuples", "generation", "_indexes", "_sorted_cols", "_tuple_set")
+    __slots__ = ("name", "attrs", "generation", "_store", "_paths", "_owners")
 
     def __init__(self, name: str, attrs: Sequence[str], tuples: Iterable[Sequence[Value]] = ()):
         if not name:
@@ -76,15 +89,29 @@ class Relation:
                     f"tuple {t!r} has arity {len(t)}, relation {name!r} expects {arity}"
                 )
             rows.append(t)
-        self.tuples: list[Row] = rows
-        #: Mutation counter: bumped on every ``add``/``extend``.  Consumers
-        #: that cache derived structures (``repro.engine``) compare
-        #: generations instead of hashing tuple lists.
+        #: Mutation counter: bumped on every ``add``/``extend``ed row.
+        #: Consumers that cache derived structures (:mod:`repro.engine`)
+        #: compare generations instead of hashing tuple lists.
         self.generation: int = 0
-        # Caches; invalidated on mutation.
-        self._indexes: dict[tuple[int, ...], dict] = {}
-        self._sorted_cols: dict[str, list] = {}
-        self._tuple_set: set[Row] | None = None
+        self._adopt_store(ColumnStore.from_rows(arity, rows))
+        #: Databases holding this relation (weak backrefs); mutations are
+        #: pushed to them so ``Database.generation`` stays O(1) to read.
+        self._owners: list = []
+
+    @classmethod
+    def _from_store(cls, name: str, attrs: Sequence[str], store: ColumnStore) -> "Relation":
+        """Adopt a pre-built column store (encoding layer fast path)."""
+        rel = cls(name, attrs)
+        if store.arity != len(rel.attrs):
+            raise SchemaError(
+                f"store arity {store.arity} does not match schema {rel.attrs}"
+            )
+        rel._adopt_store(store)
+        return rel
+
+    def _adopt_store(self, store: ColumnStore) -> None:
+        self._store = store
+        self._paths = AccessPathCache(store)
 
     # ------------------------------------------------------------------ #
     # basic protocol
@@ -94,21 +121,27 @@ class Relation:
         """Number of attributes."""
         return len(self.attrs)
 
+    @property
+    def tuples(self) -> list[Row]:
+        """The row-major view of the physical store.
+
+        A cached list rebuilt lazily after mutations; treat it as
+        read-only — mutate through :meth:`add` / :meth:`extend` so the
+        generation counters and access paths stay coherent.
+        """
+        return self._store.rows()
+
     def __len__(self) -> int:
-        return len(self.tuples)
+        return len(self._store)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self.tuples)
+        return iter(self._store.rows())
 
     def __contains__(self, row: Sequence[Value]) -> bool:
-        if len(self.tuples) <= 64:
-            return tuple(row) in self.tuples
-        if self._tuple_set is None:
-            self._tuple_set = set(self.tuples)
-        return tuple(row) in self._tuple_set
+        return self._store.contains(tuple(row))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Relation({self.name!r}, attrs={self.attrs}, n={len(self.tuples)})"
+        return f"Relation({self.name!r}, attrs={self.attrs}, n={len(self._store)})"
 
     def __eq__(self, other: object) -> bool:
         """Structural equality: same name, schema and multiset of tuples."""
@@ -117,7 +150,7 @@ class Relation:
         return (
             self.name == other.name
             and self.attrs == other.attrs
-            and sorted(self.tuples) == sorted(other.tuples)
+            and sorted(self._store.rows()) == sorted(other._store.rows())
         )
 
     def __hash__(self) -> int:  # Relations are mutable: identity hash.
@@ -157,7 +190,7 @@ class Relation:
             raise SchemaError(
                 f"tuple {t!r} has arity {len(t)}, relation {self.name!r} expects {self.arity}"
             )
-        self.tuples.append(t)
+        self._store.append(t)
         self._invalidate()
 
     def extend(self, rows: Iterable[Sequence[Value]]) -> None:
@@ -167,64 +200,126 @@ class Relation:
 
     def _invalidate(self) -> None:
         self.generation += 1
-        self._indexes.clear()
-        self._sorted_cols.clear()
-        self._tuple_set = None
+        # Access paths invalidate themselves against the store version;
+        # owning databases are told directly so their combined counter
+        # stays a plain attribute read.  Each weakref is dereferenced
+        # exactly once: a second deref could race garbage collection.
+        if self._owners:
+            live = []
+            for ref in self._owners:
+                database = ref()
+                if database is not None:
+                    live.append(ref)
+                    database._relation_mutated()
+            self._owners = live
+
+    def _attach(self, database) -> None:
+        """Register an owning database for mutation notifications.
+
+        Dead references are pruned here too — encoded views are re-added
+        to a fresh database image on every refresh and never mutate, so
+        this is their only pruning opportunity.
+        """
+        live = []
+        registered = False
+        for ref in self._owners:
+            existing = ref()
+            if existing is None:
+                continue
+            live.append(ref)
+            if existing is database:
+                registered = True
+        if not registered:
+            live.append(weakref.ref(database))
+        self._owners = live
+
+    # ------------------------------------------------------------------ #
+    # access paths (the storage read interface)
+    # ------------------------------------------------------------------ #
+    def scan(self) -> ScanPath:
+        """The sequential :class:`~repro.storage.paths.ScanPath`."""
+        return self._paths.scan()
+
+    def hash_path(self, key_positions: Sequence[int]) -> HashIndexPath:
+        """The cached hash access path on the given column positions."""
+        return self._paths.hash_index(key_positions)
+
+    def sorted_path(self, attr: str) -> SortedViewPath:
+        """The cached sorted access path on one attribute."""
+        return self._paths.sorted_view(self.position(attr))
+
+    def instance_rows(
+        self,
+        positions: Sequence[int],
+        selections: Sequence[tuple[int, Value]] = (),
+        *,
+        distinct: bool = False,
+    ) -> list[Row]:
+        """Select/project view rows for a query atom (cached per signature).
+
+        This is how :func:`repro.algorithms.yannakakis.atom_instances`
+        binds atoms; the returned list is shared cache state — rebind or
+        filter it into fresh lists, never mutate it in place.
+        """
+        return self._paths.scan().view(positions, selections, distinct)
 
     # ------------------------------------------------------------------ #
     # algebra helpers (used by baselines, workloads and tests)
     # ------------------------------------------------------------------ #
     def column(self, attr: str) -> list[Value]:
         """All values of one attribute, in tuple order (with duplicates)."""
-        i = self.position(attr)
-        return [t[i] for t in self.tuples]
+        return list(self._store.column(self.position(attr)))
 
     def domain(self, attr: str) -> set[Value]:
         """Distinct values of one attribute."""
-        i = self.position(attr)
-        return {t[i] for t in self.tuples}
+        return set(self._store.column(self.position(attr)))
 
     def sorted_domain(self, attr: str, *, reverse: bool = False) -> list[Value]:
         """Distinct values of ``attr`` sorted ascending (cached).
 
-        The cache is keyed on the attribute; a descending view is produced
+        Served by the sorted access path; a descending view is produced
         by reversing the cached ascending list.
         """
-        if attr not in self._sorted_cols:
-            self._sorted_cols[attr] = sorted(self.domain(attr))
-        vals = self._sorted_cols[attr]
-        return list(reversed(vals)) if reverse else list(vals)
+        values = self.sorted_path(attr).values
+        return list(reversed(values)) if reverse else list(values)
 
     def project(self, attrs: Sequence[str], *, distinct: bool = False) -> "Relation":
         """Relational projection onto ``attrs`` (optionally de-duplicated)."""
         pos = self.positions(attrs)
-        rows: Iterable[Row] = (tuple(t[i] for i in pos) for t in self.tuples)
-        if distinct:
-            rows = _stable_unique(rows)
+        rows = self._paths.scan().view(pos, (), distinct)
         return Relation(self.name, attrs, rows)
 
     def select(self, predicate: Callable[[Row], bool], *, name: str | None = None) -> "Relation":
         """Relational selection with an arbitrary row predicate."""
-        return Relation(name or self.name, self.attrs, [t for t in self.tuples if predicate(t)])
+        return Relation(
+            name or self.name,
+            self.attrs,
+            [t for t in self._store.rows() if predicate(t)],
+        )
 
     def select_eq(self, attr: str, value: Value, *, name: str | None = None) -> "Relation":
-        """Selection ``σ_{attr=value}`` using the hash index when available."""
+        """Selection ``σ_{attr=value}`` using the hash access path."""
         i = self.position(attr)
-        idx = self.index((i,))
-        return Relation(name or self.name, self.attrs, idx.get((value,), []))
+        rows = self.hash_path((i,)).lookup((value,))
+        return Relation(name or self.name, self.attrs, rows)
 
     def distinct(self) -> "Relation":
         """A copy with duplicate tuples removed (first occurrence kept)."""
-        return Relation(self.name, self.attrs, _stable_unique(self.tuples))
+        pos = tuple(range(self.arity))
+        return Relation(self.name, self.attrs, self._paths.scan().view(pos, (), True))
 
     def renamed(self, name: str) -> "Relation":
-        """A shallow copy under a different relation name (shares tuples)."""
+        """A shallow copy under a different relation name (shares storage).
+
+        Both views observe mutations made through either one — the shared
+        store's version counter keeps their access paths coherent.
+        """
         r = Relation(name, self.attrs)
-        r.tuples = self.tuples
+        r._adopt_store(self._store)
         return r
 
     # ------------------------------------------------------------------ #
-    # indexing
+    # indexing (dict-level compatibility wrappers over the hash path)
     # ------------------------------------------------------------------ #
     def index(self, key_positions: Sequence[int]) -> dict[tuple, list[Row]]:
         """Hash index ``key tuple -> list of rows`` on the given columns.
@@ -233,31 +328,19 @@ class Relation:
         mutation.  An empty ``key_positions`` returns a single-entry index
         mapping ``()`` to all rows (useful for anchorless join-tree roots).
         """
-        key = tuple(key_positions)
-        idx = self._indexes.get(key)
-        if idx is None:
-            idx = {}
-            for t in self.tuples:
-                k = tuple(t[i] for i in key)
-                bucket = idx.get(k)
-                if bucket is None:
-                    idx[k] = [t]
-                else:
-                    bucket.append(t)
-            self._indexes[key] = idx
-        return idx
+        return self.hash_path(key_positions).buckets
 
     def index_on(self, attrs: Sequence[str]) -> dict[tuple, list[Row]]:
         """Hash index keyed by attribute *names* (convenience wrapper)."""
         return self.index(self.positions(attrs))
 
+    # ------------------------------------------------------------------ #
+    # pickling (worker shipping): caches and backrefs stay home
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        return (self.name, self.attrs, self.generation, self._store)
 
-def _stable_unique(rows: Iterable[Row]) -> list[Row]:
-    """Deduplicate preserving the first occurrence order."""
-    seen: set[Row] = set()
-    out: list[Row] = []
-    for t in rows:
-        if t not in seen:
-            seen.add(t)
-            out.append(t)
-    return out
+    def __setstate__(self, state) -> None:
+        self.name, self.attrs, self.generation, store = state
+        self._adopt_store(store)
+        self._owners = []

@@ -52,12 +52,13 @@ from typing import Any, Iterable, Sequence
 from ..core.answers import RankedAnswer
 from ..core.base import RankedEnumeratorBase
 from ..core.planner import plan_query
-from ..core.ranking import RankingFunction
+from ..core.ranking import RankingFunction, WeightFunction
 from ..data.database import Database
 from ..data.relation import Value
 from ..query.parser import parse_query
 from ..query.properties import classify_query, delay_guarantee
 from ..query.query import JoinProjectQuery, UnionQuery
+from ..storage.encoded import EncodedDatabase
 from .lru import LRUCache
 from .prepared import PreparedPlan
 from .stats import EngineStats
@@ -88,6 +89,7 @@ class QueryEngine:
         *,
         max_plans: int = 64,
         max_queries: int = 256,
+        encode: bool | str = "auto",
     ):
         self.db = db if db is not None else Database()
         self.stats = EngineStats()
@@ -99,6 +101,18 @@ class QueryEngine:
         # so they get the same session treatment as plans: LRU-cached,
         # revalidated against the database generation.
         self._partitions: LRUCache = LRUCache(max_plans)
+        # Dictionary-encoded execution (the storage layer's fast path):
+        # the encoded image of the database is cached here and
+        # revalidated against the generation counter like every other
+        # warm structure, so warm runs re-encode nothing.  The default
+        # ``"auto"`` encodes exactly when the data carries fat
+        # (non-numeric) keys — where code-space execution wins;
+        # ``encode=True`` forces it, ``encode=False`` forces plain rows
+        # (benchmarks compare the two).
+        self._encode = encode
+        self._encoded: EncodedDatabase | None = None
+        self._encode_broken_generation: int | None = None
+        self._encode_auto: tuple[Database, int, bool] | None = None
         self.last_enumerator: RankedEnumeratorBase | None = None
 
     def _count_query_eviction(self, _key, _value) -> None:
@@ -180,8 +194,57 @@ class QueryEngine:
         On a hit the cached :class:`PreparedPlan` is returned with its
         join tree / GHD / warm reduced instances intact; on a miss the
         query is classified and planned (:func:`repro.core.planner.plan_query`)
-        and the plan enters the LRU.
+        and the plan enters the LRU.  With encoding active this is the
+        plan :meth:`execute` runs — the query's constants and ranking
+        translated into code space — so warm state and hit counters
+        reflect real executions.
         """
+        prepared, _ctx = self._prepare(
+            query, ranking, method=method, epsilon=epsilon, delta=delta, **kwargs
+        )
+        return prepared
+
+    def _prepare(
+        self,
+        query: QueryInput,
+        ranking: RankingFunction | None,
+        *,
+        method: str = "auto",
+        epsilon: float | None = None,
+        delta: int | None = None,
+        **kwargs: Any,
+    ) -> tuple[PreparedPlan, EncodedDatabase | None]:
+        """Prepare for execution; returns the plan plus its encoding context."""
+        parsed = self.parse(query)
+        encoding = self._encoding_for(ranking, kwargs)
+        if encoding is not None:
+            ctx, wrapped = encoding
+            prepared = self._prepare_plain(
+                ctx.encode_query(parsed),
+                wrapped,
+                method=method,
+                epsilon=epsilon,
+                delta=delta,
+                **self._encode_kwargs(ctx, kwargs),
+            )
+            return prepared.bind_encoding(ctx), ctx
+        return (
+            self._prepare_plain(
+                parsed, ranking, method=method, epsilon=epsilon, delta=delta, **kwargs
+            ),
+            None,
+        )
+
+    def _prepare_plain(
+        self,
+        query: QueryInput,
+        ranking: RankingFunction | None = None,
+        *,
+        method: str = "auto",
+        epsilon: float | None = None,
+        delta: int | None = None,
+        **kwargs: Any,
+    ) -> PreparedPlan:
         parsed = self.parse(query)
         fingerprint = self._fingerprint(parsed, ranking, method, epsilon, delta, kwargs)
         if fingerprint is not None:
@@ -203,6 +266,73 @@ class QueryEngine:
         return prepared
 
     # ------------------------------------------------------------------ #
+    # encoded execution (storage-layer fast path)
+    # ------------------------------------------------------------------ #
+    def _encoding_for(
+        self, ranking: RankingFunction | None, kwargs: dict[str, Any]
+    ) -> tuple[EncodedDatabase, RankingFunction] | None:
+        """The refreshed encoded image + wrapped ranking, or ``None``.
+
+        ``None`` means "execute over plain rows": encoding disabled,
+        caller-supplied instances (already in value space), a ranking
+        class the wrapper does not know, or a database whose values
+        defeated dictionary construction (remembered per generation).
+        """
+        if self._encode is False or "instances" in kwargs:
+            return None
+        generation = self.db.generation
+        if generation == self._encode_broken_generation:
+            self.stats.encode_fallbacks += 1
+            return None
+        if self._encode == "auto":
+            cached = self._encode_auto
+            if cached is None or cached[0] is not self.db or cached[1] != generation:
+                from ..storage.encoded import profits_from_encoding
+
+                cached = (self.db, generation, profits_from_encoding(self.db))
+                self._encode_auto = cached
+            if not cached[2]:
+                return None
+        if self._encoded is None or self._encoded.base is not self.db:
+            # First use, or the session database object was swapped out
+            # (equal generations on different databases say nothing
+            # about equal contents).
+            self._encoded = EncodedDatabase(self.db)
+        epoch_before = self._encoded.epoch
+        had_image = self._encoded.database is not None
+        try:
+            self._encoded.refresh()
+        except TypeError:
+            # Unhashable values somewhere in the data; plain execution
+            # would work (it never dictionary-hashes whole columns), so
+            # fall back quietly until the data changes.
+            self._encode_broken_generation = generation
+            self.stats.encode_fallbacks += 1
+            return None
+        if self._encoded.epoch != epoch_before:
+            self.stats.encode_builds += 1
+            if had_image:
+                # The code space itself changed: every encoded plan in
+                # the LRU is orphaned (their fingerprints can no longer
+                # be produced), which is an invalidation of warm state
+                # the plans themselves will never get to report.
+                self.stats.invalidations += 1
+        wrapped = self._encoded.wrap_ranking(ranking)
+        if wrapped is None:
+            self.stats.encode_fallbacks += 1
+            return None
+        return self._encoded, wrapped
+
+    @staticmethod
+    def _encode_kwargs(ctx: EncodedDatabase, kwargs: dict[str, Any]) -> dict[str, Any]:
+        """Planner kwargs translated into code space (bare ``weight``)."""
+        weight = kwargs.get("weight")
+        if isinstance(weight, WeightFunction):
+            kwargs = dict(kwargs)
+            kwargs["weight"] = ctx.wrap_weight(weight)
+        return kwargs
+
+    # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
     def stream(
@@ -218,11 +348,18 @@ class QueryEngine:
         """A fresh one-shot enumerator over the session database.
 
         The delay-guarantee interface: iterate for answers in rank
-        order.  Warm plan state is reused when available.
+        order.  Warm plan state is reused when available.  When the
+        session encodes (``encode="auto"`` does so for data with
+        non-numeric keys), the enumerator runs over the
+        dictionary-encoded image of the database and decodes at
+        emission — answers, scores, ties and order are identical to
+        plain execution.
         """
-        prepared = self.prepare(
+        prepared, _ctx = self._prepare(
             query, ranking, method=method, epsilon=epsilon, delta=delta, **kwargs
         )
+        # Plans bound to an encoding context switch to the encoded image
+        # and decode at emission inside make_enumerator.
         enum = prepared.make_enumerator(self.db, self.stats)
         self.last_enumerator = enum
         return enum
@@ -259,23 +396,45 @@ class QueryEngine:
     # ------------------------------------------------------------------ #
     # parallel execution
     # ------------------------------------------------------------------ #
-    def _partition_for(self, parsed, shards: int, attribute: str | None):
+    def _partition_for(
+        self,
+        parsed,
+        shards: int,
+        attribute: str | None,
+        *,
+        database: Database | None = None,
+        cache_tag: Any = None,
+    ):
         """The session's cached :class:`~repro.data.partition.QueryPartition`.
 
-        Keyed on ``(query, shards, attribute)`` and revalidated against
-        :attr:`Database.generation`, exactly like warm plan state: a
-        mutation transparently rebuilds the shards on next use.
+        Keyed on ``(query, shards, attribute, tag)`` and revalidated
+        against :attr:`Database.generation`, exactly like warm plan
+        state: a mutation transparently rebuilds the shards on next
+        use.  The encoded path passes its own ``database`` (the encoded
+        image, whose lifetime the base generation also governs) and a
+        dictionary-epoch ``cache_tag`` so code-space shards never mix
+        with value-space ones.
         """
         from ..data.partition import partition_query
 
-        key = (parsed, shards, attribute)
+        key = (parsed, shards, attribute, cache_tag)
         cached = self._partitions.get(key)
-        if cached is not None and cached[0] == self.db.generation:
+        # Validated on the database *object* as well as its generation:
+        # a session whose ``engine.db`` was swapped for an equal-generation
+        # database must not be served the old database's shards.
+        if (
+            cached is not None
+            and cached[0] is self.db
+            and cached[1] == self.db.generation
+        ):
             self.stats.partition_hits += 1
-            return cached[1]
+            return cached[2]
         self.stats.partition_misses += 1
-        partition = partition_query(parsed, self.db, shards, attribute=attribute)
-        self._partitions.put(key, (self.db.generation, partition))
+        partition = partition_query(
+            parsed, database if database is not None else self.db, shards,
+            attribute=attribute,
+        )
+        self._partitions.put(key, (self.db, self.db.generation, partition))
         return partition
 
     def prepare_parallel(
@@ -299,8 +458,74 @@ class QueryEngine:
         execution, ``describe()`` and ``explain`` alike.  Parallel
         plans live in the same LRU as serial ones under a fingerprint
         extended with the shard configuration, so the serial plan entry
-        is undisturbed.
+        is undisturbed.  With encoding active the plan is the
+        code-space one :meth:`execute_parallel` runs.
         """
+        prepared, _ctx = self._prepare_parallel(
+            query,
+            ranking,
+            shards=shards,
+            attribute=attribute,
+            method=method,
+            epsilon=epsilon,
+            delta=delta,
+            **kwargs,
+        )
+        return prepared
+
+    def _prepare_parallel(
+        self,
+        query: QueryInput,
+        ranking: RankingFunction | None,
+        *,
+        shards: int,
+        attribute: str | None,
+        method: str = "auto",
+        epsilon: float | None = None,
+        delta: int | None = None,
+        **kwargs: Any,
+    ) -> tuple[PreparedPlan, EncodedDatabase | None]:
+        parsed = self.parse(query)
+        encoding = self._encoding_for(ranking, kwargs)
+        if encoding is not None:
+            ctx, wrapped = encoding
+            prepared = self._prepare_parallel_plain(
+                ctx.encode_query(parsed),
+                wrapped,
+                shards=shards,
+                attribute=attribute,
+                method=method,
+                epsilon=epsilon,
+                delta=delta,
+                **self._encode_kwargs(ctx, kwargs),
+            )
+            return prepared.bind_encoding(ctx), ctx
+        return (
+            self._prepare_parallel_plain(
+                parsed,
+                ranking,
+                shards=shards,
+                attribute=attribute,
+                method=method,
+                epsilon=epsilon,
+                delta=delta,
+                **kwargs,
+            ),
+            None,
+        )
+
+    def _prepare_parallel_plain(
+        self,
+        query: QueryInput,
+        ranking: RankingFunction | None = None,
+        *,
+        shards: int,
+        attribute: str | None = None,
+        method: str = "auto",
+        epsilon: float | None = None,
+        delta: int | None = None,
+        **kwargs: Any,
+    ) -> PreparedPlan:
         from ..data.partition import choose_partition_attribute, rewrite_for_sharding
 
         parsed = self.parse(query)
@@ -379,8 +604,12 @@ class QueryEngine:
         # The cached parallel plan (of the rewritten query) is what the
         # shard workers instantiate — warm parallel executions skip
         # classification and join-tree/GHD construction entirely, and
-        # the same entry backs ``explain``'s partition reporting.
-        prepared = self.prepare_parallel(
+        # the same entry backs ``explain``'s partition reporting.  With
+        # encoding active the whole pipeline runs in code space —
+        # partition hashing, worker joins and the order-preserving merge
+        # all compare dense ints — and answers decode once after the
+        # merge.
+        prepared, ctx = self._prepare_parallel(
             parsed,
             ranking,
             shards=shards,
@@ -390,12 +619,23 @@ class QueryEngine:
             delta=delta,
             **kwargs,
         )
-        partition = self._partition_for(parsed, shards, attribute)
+        if ctx is not None:
+            exec_query = ctx.encode_query(parsed)
+            exec_db = ctx.database
+            exec_ranking = ctx.wrap_ranking(ranking)
+            kwargs = self._encode_kwargs(ctx, kwargs)
+            cache_tag: Any = ("encoded", ctx.epoch)
+        else:
+            exec_query, exec_db, exec_ranking = parsed, self.db, ranking
+            cache_tag = None
+        partition = self._partition_for(
+            exec_query, shards, attribute, database=exec_db, cache_tag=cache_tag
+        )
         answers = list(
             stream_sharded(
-                parsed,
-                self.db,
-                ranking,
+                exec_query,
+                exec_db,
+                exec_ranking,
                 shards=shards,
                 backend=backend,
                 k=k,
@@ -408,6 +648,10 @@ class QueryEngine:
                 **kwargs,
             )
         )
+        if ctx is not None:
+            answers = ctx.decode_answers(
+                answers, prepared.plan.kind, prepared.plan.ranking
+            )
         self.stats.parallel_executions += 1
         self.stats.record_execution(repr(parsed), time.perf_counter() - started)
         return answers
@@ -518,12 +762,18 @@ class QueryEngine:
         for prepared in self._plans.values():
             prepared._reduced_instances = None
             prepared._generation = None
+        self._encoded = None
+        self._encode_broken_generation = None
+        self._encode_auto = None
 
     def clear_caches(self) -> None:
         """Drop every cached parse, plan and partition (counters are kept)."""
         self._queries.clear()
         self._plans.clear()
         self._partitions.clear()
+        self._encoded = None
+        self._encode_broken_generation = None
+        self._encode_auto = None
 
     @property
     def cached_plans(self) -> int:

@@ -11,12 +11,12 @@ database contents:
   :class:`~repro.core.lexicographic.LexBacktrackEnumerator` accept via
   their ``instances`` parameter, skipping the O(|D|) reducer pass on
   every warm execution);
-* pre-built hash indexes on the join-key columns of the underlying
-  relations.  These live on the :class:`~repro.data.relation.Relation`
-  objects (``Relation._indexes``) until the next mutation; the
-  enumerators read the reduced instances directly, so the indexes serve
-  relation-level consumers (``select_eq`` / ``index_on`` — the
-  baselines and ad-hoc inspection), at one O(|D|) pass per
+* pre-built hash access paths on the join-key columns of the underlying
+  relations.  These live in each relation's storage-layer path cache
+  (:class:`repro.storage.paths.AccessPathCache`) until the next
+  mutation; the enumerators read the reduced instances directly, so the
+  indexes serve relation-level consumers (``select_eq`` / ``index_on``
+  — the baselines and ad-hoc inspection), at one O(|D|) pass per
   invalidation.
 
 Warm state is validated against
@@ -34,6 +34,7 @@ from ..algorithms.yannakakis import atom_instances, full_reduce
 from ..core.base import RankedEnumeratorBase
 from ..core.planner import QueryPlan
 from ..data.database import Database
+from ..errors import QueryError
 from .stats import EngineStats
 
 __all__ = ["PreparedPlan"]
@@ -60,6 +61,8 @@ class PreparedPlan:
         "_db",
         "_generation",
         "_reduced_instances",
+        "_encoding",
+        "_encoding_epoch",
     )
 
     def __init__(self, plan: QueryPlan, fingerprint: Any, prepare_seconds: float = 0.0):
@@ -70,6 +73,44 @@ class PreparedPlan:
         self._db: Database | None = None
         self._generation: int | None = None
         self._reduced_instances: dict[str, list[tuple]] | None = None
+        # Set for plans whose query/ranking were translated into code
+        # space: the EncodedDatabase they were translated against and
+        # the dictionary epoch the translation belongs to.
+        self._encoding = None
+        self._encoding_epoch: int | None = None
+
+    def bind_encoding(self, encoding) -> "PreparedPlan":
+        """Record that this plan executes over ``encoding``'s code space.
+
+        Bound by the engine at prepare time; :meth:`make_enumerator`
+        then accepts the *base* database and transparently switches to
+        the encoded image and decodes at emission, so the documented
+        ``prepare(...)`` / ``make_enumerator(engine.db)`` pattern stays
+        correct under encoding.
+        """
+        self._encoding = encoding
+        self._encoding_epoch = encoding.epoch
+        return self
+
+    def _execution_target(self, db: Database) -> tuple[Database, Any]:
+        """Resolve the database to execute against (+ encoding or None)."""
+        ctx = self._encoding
+        if ctx is None:
+            return db, None
+        if db is ctx.database:
+            return db, ctx  # the engine handed us the encoded image
+        if db is ctx.base:
+            ctx.refresh()
+            if ctx.epoch != self._encoding_epoch:
+                raise QueryError(
+                    "prepared plan is stale: the database gained values its "
+                    "dictionary has never seen — re-prepare through the engine"
+                )
+            return ctx.database, ctx
+        raise QueryError(
+            "this plan was prepared for the encoded execution of a different "
+            "database; prepare a plan for this database instead"
+        )
 
     # ------------------------------------------------------------------ #
     # warm state
@@ -99,8 +140,10 @@ class PreparedPlan:
         Runs ``atom_instances`` + the full reducer once and pre-builds
         the join-key hash indexes on the base relations.  Called lazily
         by :meth:`make_enumerator`; call it directly to pay the cost at
-        prepare time instead of on the first execution.
+        prepare time instead of on the first execution.  Encoded plans
+        accept the base database and warm the encoded image.
         """
+        db, _encoding = self._execution_target(db)
         self._check_generation(db, stats)
         if self.plan.kind not in _WARMABLE_KINDS or self._reduced_instances is not None:
             return self
@@ -144,15 +187,29 @@ class PreparedPlan:
         construction plus enumeration.  Results are identical to a cold
         :func:`~repro.core.planner.create_enumerator` build: the reduced
         instances are exactly what the cold path derives internally.
+
+        Plans bound to an encoding context accept the *base* database
+        here: execution switches to the encoded image and the returned
+        enumerator decodes values and scores at emission.
         """
         self.executions += 1
+        target, encoding = self._execution_target(db)
         caller_instances = "instances" in overrides or "instances" in self.plan.kwargs
         if self.plan.kind in _WARMABLE_KINDS and not caller_instances:
-            self.warm(db, stats)
+            self.warm(target, stats)
             overrides["instances"] = self._reduced_instances
             if "already_reduced" not in self.plan.kwargs:
                 overrides["already_reduced"] = True
-        return self.plan.instantiate(db, **overrides)
+        enum = self.plan.instantiate(target, **overrides)
+        if encoding is not None:
+            from ..storage.encoded import DecodingEnumerator
+
+            enum = DecodingEnumerator(
+                enum,
+                encoding.dictionary,
+                encoding.decoder(self.plan.kind, self.plan.ranking),
+            )
+        return enum
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -69,6 +69,10 @@ class EngineStats:
     parallel_executions / batch_executions:
         Executions served by :meth:`QueryEngine.execute_parallel` and
         queries served by :meth:`QueryEngine.execute_many`.
+    encode_builds / encode_fallbacks:
+        Dictionary (re)builds of the encoded database image, and
+        executions that fell back to plain-row execution (unsupported
+        ranking class, caller-supplied instances, or unencodable data).
     executions / total_seconds / per_query:
         Execution counts and wall-clock, overall and per query name.
     """
@@ -86,6 +90,8 @@ class EngineStats:
         "partition_misses",
         "parallel_executions",
         "batch_executions",
+        "encode_builds",
+        "encode_fallbacks",
         "executions",
         "total_seconds",
         "per_query",
@@ -108,6 +114,8 @@ class EngineStats:
         self.partition_misses = 0
         self.parallel_executions = 0
         self.batch_executions = 0
+        self.encode_builds = 0
+        self.encode_fallbacks = 0
         self.executions = 0
         self.total_seconds = 0.0
         self.per_query: dict[str, QueryTiming] = {}
@@ -148,6 +156,8 @@ class EngineStats:
             "partition_misses": self.partition_misses,
             "parallel_executions": self.parallel_executions,
             "batch_executions": self.batch_executions,
+            "encode_builds": self.encode_builds,
+            "encode_fallbacks": self.encode_fallbacks,
             "per_query": {
                 name: timing.snapshot() for name, timing in self.per_query.items()
             },

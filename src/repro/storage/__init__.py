@@ -1,0 +1,63 @@
+"""Physical storage layer: columnar stores, access paths, encoding.
+
+This package is the only place in the library that owns *physical*
+tuple storage.  The logical surface (:class:`repro.data.relation.Relation`)
+delegates here, and everything above the data layer — the enumerators
+in :mod:`repro.core`, the algorithm family in :mod:`repro.algorithms`,
+the engine and the parallel subsystem — reaches tuples exclusively
+through the :class:`AccessPath` interface (enforced by
+``tools/check_layering.py`` in CI).
+
+Three ideas live here:
+
+* :class:`ColumnStore` — tuples held column-major with a mutation
+  version counter; row views are materialised lazily and cached.
+* :class:`AccessPath` and its implementations (:class:`ScanPath`,
+  :class:`HashIndexPath`, :class:`SortedViewPath`), cached per store by
+  :class:`AccessPathCache` and invalidated by the store version.  These
+  subsume the ad-hoc per-relation hash-index / sorted-column caches the
+  data layer used to keep.
+* dictionary encoding (:class:`Dictionary`, :class:`EncodedDatabase`) —
+  an order-preserving mapping of every database value to a dense
+  integer code.  The engine executes queries over the encoded image of
+  the database (joins, semi-joins, partitioning and heap tie-breaks all
+  compare small ints) and decodes only at ``RankedAnswer`` emission, so
+  scores, ties and order are identical to plain execution.
+"""
+
+from .columnstore import ColumnStore
+from .dictionary import Dictionary
+from .paths import (
+    AccessPath,
+    AccessPathCache,
+    HashIndexPath,
+    ScanPath,
+    SortedViewPath,
+)
+
+# The encoding layer depends on repro.core (rankings, answers), which in
+# turn imports the data layer that this package underpins; load it
+# lazily (PEP 562) so ``repro.data.relation`` can import the storage
+# primitives without a cycle.
+_ENCODED_EXPORTS = ("DecodingEnumerator", "EncodedDatabase", "wrap_ranking")
+
+
+def __getattr__(name: str):
+    if name in _ENCODED_EXPORTS:
+        from . import encoded
+
+        return getattr(encoded, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AccessPath",
+    "AccessPathCache",
+    "ColumnStore",
+    "DecodingEnumerator",
+    "Dictionary",
+    "EncodedDatabase",
+    "HashIndexPath",
+    "ScanPath",
+    "SortedViewPath",
+    "wrap_ranking",
+]

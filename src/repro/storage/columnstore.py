@@ -1,0 +1,152 @@
+"""Column-major tuple storage.
+
+A :class:`ColumnStore` keeps one Python list per column plus a mutation
+*version* counter.  Consumers that want row tuples get them from a
+lazily built, cached row view (``zip(*columns)`` is a single C-level
+pass); consumers that want a column — projections, dictionary encoding,
+partition hashing — read it directly without touching the other
+columns.  The version counter is what every derived structure
+(:class:`repro.storage.paths.AccessPathCache`, the engine's encoded
+image of the database) validates against, so views that *share* a store
+(``Relation.renamed``) invalidate together.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+__all__ = ["ColumnStore"]
+
+Row = tuple
+Value = Any
+
+
+class ColumnStore:
+    """Tuples of a fixed arity, stored column-major.
+
+    Examples
+    --------
+    >>> store = ColumnStore.from_rows(2, [(1, "x"), (2, "y")])
+    >>> len(store), store.column(1)
+    (2, ['x', 'y'])
+    >>> store.rows()
+    [(1, 'x'), (2, 'y')]
+    >>> store.append((3, "z"))
+    >>> store.version, store.row(2)
+    (1, (3, 'z'))
+    """
+
+    __slots__ = ("arity", "columns", "version", "_rows", "_row_set")
+
+    def __init__(self, arity: int):
+        if arity < 1:
+            raise ValueError(f"a column store needs arity >= 1, got {arity}")
+        self.arity = arity
+        #: One value list per column; same length each.
+        self.columns: list[list[Value]] = [[] for _ in range(arity)]
+        #: Bumped on every mutation; derived structures validate on it.
+        self.version = 0
+        self._rows: list[Row] | None = None
+        self._row_set: set[Row] | None = None
+
+    @classmethod
+    def from_rows(cls, arity: int, rows: Iterable[Sequence[Value]]) -> "ColumnStore":
+        """Build a store from row-major input (one transposing pass)."""
+        store = cls(arity)
+        materialised = [tuple(r) for r in rows]
+        if materialised:
+            store.columns = [list(col) for col in zip(*materialised)]
+            store._rows = materialised
+        return store
+
+    @classmethod
+    def from_columns(cls, columns: Sequence[Sequence[Value]]) -> "ColumnStore":
+        """Adopt pre-built column lists (no copy validation beyond length)."""
+        store = cls(len(columns))
+        cols = [list(c) for c in columns]
+        n = len(cols[0])
+        if any(len(c) != n for c in cols):
+            raise ValueError("columns must all have the same length")
+        store.columns = cols
+        return store
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.columns[0])
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows())
+
+    def rows(self) -> list[Row]:
+        """The row-major view, materialised lazily and cached per version."""
+        if self._rows is None:
+            self._rows = list(zip(*self.columns)) if self.columns[0] else []
+        return self._rows
+
+    def row(self, i: int) -> Row:
+        """One row by position."""
+        return self.rows()[i]
+
+    def column(self, position: int) -> list[Value]:
+        """Direct (mutable — treat as read-only) access to one column."""
+        return self.columns[position]
+
+    def project(self, positions: Sequence[int]) -> list[Row]:
+        """Row tuples over a subset of columns, in store order.
+
+        A zero-column projection yields one empty tuple per row (the
+        all-constants atom case).
+        """
+        if not positions:
+            return [()] * len(self)
+        if len(positions) == 1:
+            return [(v,) for v in self.columns[positions[0]]]
+        return list(zip(*(self.columns[i] for i in positions)))
+
+    def contains(self, row: Row) -> bool:
+        """Multiset membership (hash set built lazily, cached per version)."""
+        if len(self) <= 64:
+            return row in self.rows()
+        if self._row_set is None:
+            self._row_set = set(self.rows())
+        return row in self._row_set
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def append(self, row: Sequence[Value]) -> None:
+        """Append one row (arity validated by the caller)."""
+        for col, value in zip(self.columns, row):
+            col.append(value)
+        self._touch()
+
+    def extend(self, rows: Iterable[Sequence[Value]]) -> None:
+        """Append many rows."""
+        appended = False
+        for row in rows:
+            for col, value in zip(self.columns, row):
+                col.append(value)
+            appended = True
+        if appended:
+            self._touch()
+
+    def _touch(self) -> None:
+        self.version += 1
+        self._rows = None
+        self._row_set = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnStore(arity={self.arity}, n={len(self)}, v={self.version})"
+
+    # ------------------------------------------------------------------ #
+    # pickling (caches are rebuilt lazily on the other side)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        return (self.arity, self.columns, self.version)
+
+    def __setstate__(self, state) -> None:
+        self.arity, self.columns, self.version = state
+        self._rows = None
+        self._row_set = None

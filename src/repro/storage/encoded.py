@@ -1,0 +1,411 @@
+"""Encoded execution: run queries over the dictionary-encoded database.
+
+:class:`EncodedDatabase` maintains the encoded image of one base
+database — a parallel :class:`~repro.data.database.Database` whose
+relations hold dense integer codes instead of raw values — together
+with everything needed to execute queries over it transparently:
+
+* **query translation** (:meth:`EncodedDatabase.encode_query`): constant
+  selections are mapped into code space (a constant absent from the
+  data becomes the never-matching sentinel);
+* **ranking translation** (:func:`wrap_ranking`): weight functions are
+  wrapped to decode before weighing, so SUM/MIN/MAX/AVG/PRODUCT keys
+  are bit-identical to plain execution, and LEX keys compare codes —
+  order-isomorphic to the raw values by the dictionary's
+  order-preservation guarantee;
+* **decode at emission** (:class:`DecodingEnumerator`): answers leave
+  the enumerator as codes and are translated back to values (and LEX
+  scores to value tuples) at the last possible moment.
+
+Cache policy (the engine's contract): the encoded image is revalidated
+against :attr:`Database.generation` before every use.  On a mutation,
+relations whose own generation is unchanged are **not** re-encoded; the
+dictionary itself is rebuilt only when the mutation introduced values
+it has never seen (rebuilding re-sorts the code space, which bumps the
+``epoch`` and drops every per-epoch derived cache).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from ..core.answers import RankedAnswer
+from ..core.base import RankedEnumeratorBase
+from ..core.ranking import (
+    AvgRanking,
+    CompositeRanking,
+    LexRanking,
+    MaxRanking,
+    MinRanking,
+    ProductRanking,
+    RankingFunction,
+    SumRanking,
+    WeightFunction,
+)
+from .columnstore import ColumnStore
+from .dictionary import Dictionary
+
+__all__ = [
+    "DecodingEnumerator",
+    "DecodingWeight",
+    "EncodedDatabase",
+    "make_score_decoder",
+    "wrap_ranking",
+]
+
+#: Ranking classes whose encoded execution is known-identical.  Exact
+#: types only: a user subclass may override key algebra in ways the
+#: wrapper cannot see, and then the engine falls back to plain rows.
+_WRAPPABLE = (
+    SumRanking,
+    AvgRanking,
+    MinRanking,
+    MaxRanking,
+    ProductRanking,
+    LexRanking,
+    CompositeRanking,
+)
+
+
+#: Placeholder distinguishing "never computed" from any real weight.
+_UNSET = object()
+
+
+class DecodingWeight(WeightFunction):
+    """``w'(attr, code) = w(attr, decode(code))`` — weights in value space.
+
+    Weights are memoised per ``(attribute, code)`` in dense arrays: one
+    of dictionary encoding's structural wins is that a value's weight is
+    resolved **once per distinct value**, then reused by plain list
+    indexing for every tuple occurrence — instead of re-hashing a fat
+    key into a weight table per tuple.  Sound because weight functions
+    are pure (the plan cache already relies on that).
+    """
+
+    def __init__(self, base: WeightFunction, dictionary: Dictionary):
+        self.base = base
+        self.dictionary = dictionary
+        self._memo: dict[str, list] = {}
+
+    def __call__(self, attr: str, code: int) -> float:
+        memo = self._memo.get(attr)
+        if memo is None:
+            memo = self._memo[attr] = [_UNSET] * len(self.dictionary.values)
+        weight = memo[code]
+        if weight is _UNSET:
+            weight = memo[code] = self.base(attr, self.dictionary.values[code])
+        return weight
+
+    def describe(self) -> str:
+        return self.base.describe()
+
+    def __getstate__(self):
+        # Workers rebuild the memo on their own shard's access pattern;
+        # _UNSET is process-local so the arrays must not travel.
+        return (self.base, self.dictionary)
+
+    def __setstate__(self, state) -> None:
+        self.base, self.dictionary = state
+        self._memo = {}
+
+
+def wrap_ranking(
+    ranking: RankingFunction | None, dictionary: Dictionary
+) -> RankingFunction | None:
+    """The code-space twin of ``ranking``, or ``None`` when unsupported.
+
+    ``ranking=None`` (the planner's default ascending SUM over identity
+    weights) *is* supported: identity weights need the decode wrapper
+    like any other weight function.
+    """
+    if ranking is None:
+        return SumRanking(DecodingWeight(_identity(), dictionary))
+    if type(ranking) not in _WRAPPABLE:
+        return None
+    if isinstance(ranking, CompositeRanking):
+        primary = wrap_ranking(ranking.primary, dictionary)
+        secondary = wrap_ranking(ranking.secondary, dictionary)
+        if primary is None or secondary is None:
+            return None
+        return CompositeRanking(primary, secondary)
+    if isinstance(ranking, LexRanking):
+        weight = (
+            None
+            if ranking.weight is None
+            else DecodingWeight(ranking.weight, dictionary)
+        )
+        return LexRanking(
+            order=ranking.order, descending=ranking.descending, weight=weight
+        )
+    # The aggregate family shares one constructor signature.
+    return type(ranking)(
+        DecodingWeight(ranking.weight, dictionary), descending=ranking.descending
+    )
+
+
+def _identity() -> WeightFunction:
+    from ..core.ranking import IdentityWeight
+
+    return IdentityWeight()
+
+
+def make_score_decoder(
+    kind: str, ranking: RankingFunction | None, dictionary: Dictionary
+) -> Callable[[Any], Any]:
+    """How to translate an encoded answer's *score* back to value space.
+
+    Aggregate rankings already produce value-space scores (their weights
+    decode), so the decoder is the identity.  Lexicographic scores are
+    tuples of head values — i.e. codes under encoding — and decode
+    elementwise; composites recurse pairwise.  ``kind == "lex"`` covers
+    the backtracking enumerator, whose score is the comparison tuple
+    regardless of the plan's ranking object.
+    """
+    values = dictionary.values
+
+    def lex(score: Any) -> Any:
+        return tuple(values[c] for c in score)
+
+    if kind == "lex" or isinstance(ranking, LexRanking):
+        return lex
+    if isinstance(ranking, CompositeRanking):
+        first = make_score_decoder(kind, ranking.primary, dictionary)
+        second = make_score_decoder(kind, ranking.secondary, dictionary)
+        return lambda score: (first(score[0]), second(score[1]))
+    return lambda score: score
+
+
+class DecodingEnumerator(RankedEnumeratorBase):
+    """Wraps an enumerator running in code space; decodes at emission.
+
+    Values are decoded elementwise; the score goes through the
+    plan-specific decoder; :attr:`RankedAnswer.key` is passed through
+    unchanged (keys are only compared, never displayed, and all streams
+    of one execution share the dictionary, so comparisons stay
+    consistent).
+    """
+
+    def __init__(
+        self,
+        inner: RankedEnumeratorBase,
+        dictionary: Dictionary,
+        score_decoder: Callable[[Any], Any],
+    ):
+        self.inner = inner
+        self.dictionary = dictionary
+        self.score_decoder = score_decoder
+
+    def preprocess(self) -> "DecodingEnumerator":
+        self.inner.preprocess()
+        return self
+
+    def __iter__(self) -> Iterator[RankedAnswer]:
+        values = self.dictionary.values
+        decode_score = self.score_decoder
+        for answer in self.inner:
+            yield RankedAnswer(
+                tuple(values[c] for c in answer.values),
+                decode_score(answer.score),
+                key=answer.key,
+            )
+
+    @property
+    def stats(self):
+        """The inner enumerator's instrumentation."""
+        return self.inner.stats
+
+    def fresh(self) -> "DecodingEnumerator":
+        return DecodingEnumerator(
+            self.inner.fresh(), self.dictionary, self.score_decoder
+        )
+
+
+def profits_from_encoding(db, *, sample: int = 64) -> bool:
+    """Heuristic: does this database carry fat (non-numeric) join keys?
+
+    Dictionary codes are dense ints; when every column already holds
+    ints/floats there is nothing to compress or speed up and the code
+    indirection only costs.  Samples the head of each column — a miss
+    (rare fat values deep in a numeric column) merely forgoes the
+    optimisation, never correctness.
+    """
+    for rel in db:
+        store = rel._store
+        for column in store.columns:
+            for value in column[:sample]:
+                if not isinstance(value, (int, float)):
+                    return True
+    return False
+
+
+class EncodedDatabase:
+    """The dictionary-encoded image of one base database.
+
+    Construct once per session (the engine does) and call
+    :meth:`refresh` before each use; everything else is cached per
+    dictionary *epoch* and per relation generation.
+    """
+
+    __slots__ = (
+        "base",
+        "database",
+        "dictionary",
+        "epoch",
+        "_generation",
+        "_relations",
+        "_queries",
+        "_rankings",
+        "_weights",
+    )
+
+    def __init__(self, base):
+        self.base = base
+        self.database = None
+        self.dictionary: Dictionary | None = None
+        #: Bumped whenever the dictionary is rebuilt (code space changed);
+        #: every per-epoch cache keys on it.
+        self.epoch = 0
+        self._generation: int | None = None
+        # name -> (source relation, source generation, encoded relation)
+        self._relations: dict[str, tuple[Any, int, Any]] = {}
+        self._queries: dict[tuple, Any] = {}
+        self._rankings: dict[tuple, tuple] = {}
+        self._weights: dict[tuple, tuple] = {}
+
+    # ------------------------------------------------------------------ #
+    # the encoded image
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> "EncodedDatabase":
+        """Revalidate against the base generation; re-encode the delta."""
+        from ..data.database import Database
+        from ..data.relation import Relation
+
+        generation = self.base.generation
+        if self.database is not None and generation == self._generation:
+            return self
+
+        stores = {rel.name: rel._store for rel in self.base}
+        if self.dictionary is None or not self.dictionary.covers(
+            store.columns[i] for store in stores.values() for i in range(store.arity)
+        ):
+            self.dictionary = Dictionary.build(
+                store.columns[i]
+                for store in stores.values()
+                for i in range(store.arity)
+            )
+            self.epoch += 1
+            self._relations.clear()
+            self._queries.clear()
+            self._rankings.clear()
+            self._weights.clear()
+
+        encode_column = self.dictionary.encode_column
+        database = Database()
+        for rel in self.base:
+            cached = self._relations.get(rel.name)
+            if (
+                cached is not None
+                and cached[0] is rel
+                and cached[1] == rel.generation
+            ):
+                encoded = cached[2]
+            else:
+                store = ColumnStore.from_columns(
+                    [encode_column(col) for col in rel._store.columns]
+                )
+                encoded = Relation._from_store(rel.name, rel.attrs, store)
+                self._relations[rel.name] = (rel, rel.generation, encoded)
+            database.add(encoded)
+        self.database = database
+        self._generation = generation
+        return self
+
+    # ------------------------------------------------------------------ #
+    # translation caches
+    # ------------------------------------------------------------------ #
+    def encode_query(self, query):
+        """``query`` with every constant selection mapped into code space."""
+        from ..query.query import Atom, Const, JoinProjectQuery, UnionQuery
+
+        key = (query, self.epoch)
+        cached = self._queries.get(key)
+        if cached is not None:
+            return cached
+        assert self.dictionary is not None
+        encode = self.dictionary.encode
+
+        def encode_atom(atom: Atom) -> Atom:
+            if not atom.selections:
+                return atom
+            terms = tuple(
+                Const(encode(t.value)) if isinstance(t, Const) else t
+                for t in atom.terms
+            )
+            return Atom(atom.relation, terms, alias=atom.alias)
+
+        if isinstance(query, UnionQuery):
+            encoded = UnionQuery(
+                [
+                    JoinProjectQuery(
+                        [encode_atom(a) for a in branch.atoms],
+                        branch.head,
+                        name=branch.name,
+                    )
+                    for branch in query.branches
+                ],
+                name=query.name,
+            )
+        else:
+            encoded = JoinProjectQuery(
+                [encode_atom(a) for a in query.atoms], query.head, name=query.name
+            )
+        self._queries[key] = encoded
+        return encoded
+
+    def wrap_ranking(self, ranking: RankingFunction | None):
+        """Cached :func:`wrap_ranking` — stable object identity per epoch,
+        so the engine's plan fingerprints keep hitting."""
+        assert self.dictionary is not None
+        key = (id(ranking), self.epoch)
+        cached = self._rankings.get(key)
+        if cached is not None and cached[0] is ranking:
+            return cached[1]
+        wrapped = wrap_ranking(ranking, self.dictionary)
+        self._rankings[key] = (ranking, wrapped)
+        return wrapped
+
+    def wrap_weight(self, weight: WeightFunction):
+        """Cached decode wrapper for a bare weight function kwarg."""
+        assert self.dictionary is not None
+        key = (id(weight), self.epoch)
+        cached = self._weights.get(key)
+        if cached is not None and cached[0] is weight:
+            return cached[1]
+        wrapped = DecodingWeight(weight, self.dictionary)
+        self._weights[key] = (weight, wrapped)
+        return wrapped
+
+    def decoder(self, kind: str, ranking: RankingFunction | None):
+        """Answer-score decoder for one plan (see :func:`make_score_decoder`)."""
+        assert self.dictionary is not None
+        return make_score_decoder(kind, ranking, self.dictionary)
+
+    def decode_answers(
+        self, answers, kind: str, ranking: RankingFunction | None
+    ) -> list[RankedAnswer]:
+        """Decode a materialised encoded answer list (parallel path)."""
+        assert self.dictionary is not None
+        values = self.dictionary.values
+        decode_score = self.decoder(kind, ranking)
+        return [
+            RankedAnswer(
+                tuple(values[c] for c in a.values),
+                decode_score(a.score),
+                key=a.key,
+            )
+            for a in answers
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n = len(self.dictionary) if self.dictionary is not None else 0
+        return f"EncodedDatabase(epoch={self.epoch}, dict={n})"

@@ -1,0 +1,313 @@
+"""Access paths: the read interface over a :class:`ColumnStore`.
+
+An *access path* is one physical way to read a relation's tuples:
+
+* :class:`ScanPath` — sequential row access, with cached
+  select/project views (what :func:`repro.algorithms.yannakakis.atom_instances`
+  binds query atoms through);
+* :class:`HashIndexPath` — equi-lookup buckets on a column set (what
+  used to live in the relation's private per-position index cache);
+* :class:`SortedViewPath` — sorted distinct values of one column with
+  binary-search successor queries (what used to live in the relation's
+  private sorted-column cache).
+
+Paths are built and memoised by an :class:`AccessPathCache`, which
+validates every lookup against the store's version counter: any
+mutation — including one made through *another* relation sharing the
+same store (``Relation.renamed``) — transparently drops the derived
+structures.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator, Sequence
+
+from .columnstore import ColumnStore
+
+__all__ = [
+    "AccessPath",
+    "ScanPath",
+    "HashIndexPath",
+    "SortedViewPath",
+    "AccessPathCache",
+]
+
+Row = tuple
+Value = Any
+
+#: Cache key of one select/project view: (variable positions,
+#: selection pairs, distinct flag).
+ScanKey = tuple[tuple[int, ...], tuple[tuple[int, Value], ...], bool]
+
+
+class AccessPath:
+    """Base class: one physical way of reading a store's tuples."""
+
+    __slots__ = ("store",)
+
+    kind = "abstract"
+
+    def __init__(self, store: ColumnStore):
+        self.store = store
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={len(self.store)})"
+
+
+class ScanPath(AccessPath):
+    """Sequential scan with cached select/project views.
+
+    Examples
+    --------
+    >>> from repro.storage import ColumnStore
+    >>> scan = ScanPath(ColumnStore.from_rows(2, [(1, 5), (2, 5), (1, 5)]))
+    >>> scan.rows()
+    [(1, 5), (2, 5), (1, 5)]
+    >>> scan.view((0,), (), True)        # project col 0, distinct
+    [(1,), (2,)]
+    >>> scan.view((0,), ((1, 5),), False)  # select col1=5, project col 0
+    [(1,), (2,), (1,)]
+    """
+
+    __slots__ = ("_views",)
+
+    kind = "scan"
+
+    #: Bound on memoised select/project views.  Projection-only views are
+    #: keyed by query structure (a handful per relation), but selection
+    #: views are keyed by *constants* — a parameterised query stream
+    #: would otherwise retain one materialised row list per distinct
+    #: constant forever.  Oldest-first eviction keeps the hot structural
+    #: views resident in practice (they are created first).
+    MAX_VIEWS = 128
+
+    def __init__(self, store: ColumnStore):
+        super().__init__(store)
+        self._views: dict[ScanKey, list[Row]] = {}
+
+    def rows(self) -> list[Row]:
+        """All rows in store order (shared cached list — do not mutate)."""
+        return self.store.rows()
+
+    def column(self, position: int) -> list[Value]:
+        """One column in store order (shared list — do not mutate)."""
+        return self.store.column(position)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.store.rows())
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def view(
+        self,
+        positions: Sequence[int],
+        selections: Sequence[tuple[int, Value]] = (),
+        distinct: bool = False,
+    ) -> list[Row]:
+        """A select/project view, cached per signature.
+
+        ``positions`` are the output columns (in order); ``selections``
+        are ``(column, required value)`` equality filters.  The returned
+        list is the cache entry itself — callers must not mutate it
+        (rebind, filter into fresh lists, but never ``append``).
+        """
+        key: ScanKey = (tuple(positions), tuple(selections), bool(distinct))
+        view = self._views.get(key)
+        if view is None:
+            if len(self._views) >= self.MAX_VIEWS:
+                self._views.pop(next(iter(self._views)))
+            view = self._build_view(*key)
+            self._views[key] = view
+        return view
+
+    def _build_view(
+        self,
+        positions: tuple[int, ...],
+        selections: tuple[tuple[int, Value], ...],
+        distinct: bool,
+    ) -> list[Row]:
+        store = self.store
+        if not selections and len(positions) == store.arity and positions == tuple(
+            range(store.arity)
+        ):
+            rows = store.rows()
+        elif not selections:
+            rows = store.project(positions)
+        else:
+            keep = [True] * len(store)
+            for col_pos, required in selections:
+                col = store.column(col_pos)
+                keep = [k and v == required for k, v in zip(keep, col)]
+            base = store.rows()
+            rows = [
+                tuple(r[i] for i in positions) for r, k in zip(base, keep) if k
+            ]
+        if distinct:
+            seen: set[Row] = set()
+            out: list[Row] = []
+            for r in rows:
+                if r not in seen:
+                    seen.add(r)
+                    out.append(r)
+            rows = out
+        return rows
+
+
+class HashIndexPath(AccessPath):
+    """Hash buckets ``key tuple -> [rows...]`` on a column set.
+
+    An empty position tuple produces a single bucket keyed ``()``
+    holding every row (anchorless join-tree roots).
+    """
+
+    __slots__ = ("key_positions", "buckets")
+
+    kind = "hash"
+
+    def __init__(self, store: ColumnStore, key_positions: Sequence[int]):
+        super().__init__(store)
+        self.key_positions = tuple(key_positions)
+        buckets: dict[tuple, list[Row]] = {}
+        rows = store.rows()
+        if not self.key_positions:
+            buckets[()] = list(rows)
+        elif len(self.key_positions) == 1:
+            col = store.column(self.key_positions[0])
+            for value, row in zip(col, rows):
+                bucket = buckets.get((value,))
+                if bucket is None:
+                    buckets[(value,)] = [row]
+                else:
+                    bucket.append(row)
+        else:
+            keys = zip(*(store.column(i) for i in self.key_positions))
+            for key, row in zip(keys, rows):
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [row]
+                else:
+                    bucket.append(row)
+        self.buckets = buckets
+
+    def lookup(self, key: tuple) -> list[Row]:
+        """Rows matching the key (empty list if none)."""
+        return self.buckets.get(key, [])
+
+    def contains(self, key: tuple) -> bool:
+        """True when at least one row matches."""
+        return key in self.buckets
+
+    def keys(self) -> Iterable[tuple]:
+        """All distinct key tuples."""
+        return self.buckets.keys()
+
+    def __len__(self) -> int:
+        """Number of distinct keys."""
+        return len(self.buckets)
+
+
+class SortedViewPath(AccessPath):
+    """Sorted distinct values of one column with successor queries."""
+
+    __slots__ = ("position", "values")
+
+    kind = "sorted"
+
+    def __init__(self, store: ColumnStore, position: int):
+        super().__init__(store)
+        self.position = position
+        self.values: list[Value] = sorted(set(store.column(position)))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self.values)
+
+    def min(self):
+        """Smallest value, or ``None`` when empty."""
+        return self.values[0] if self.values else None
+
+    def max(self):
+        """Largest value, or ``None`` when empty."""
+        return self.values[-1] if self.values else None
+
+    def successor(self, value):
+        """The smallest stored value strictly greater than ``value``."""
+        i = bisect.bisect_right(self.values, value)
+        return self.values[i] if i < len(self.values) else None
+
+    def predecessor(self, value):
+        """The largest stored value strictly smaller than ``value``."""
+        i = bisect.bisect_left(self.values, value)
+        return self.values[i - 1] if i > 0 else None
+
+    def rank(self, value) -> int:
+        """Number of stored values ``<= value``."""
+        return bisect.bisect_right(self.values, value)
+
+
+class AccessPathCache:
+    """Per-relation memo of access paths, validated by store version.
+
+    One cache serves one :class:`~repro.data.relation.Relation`; paths
+    are keyed by kind + parameters and dropped wholesale the moment the
+    underlying store's version moves (mutations through *any* relation
+    sharing the store).
+    """
+
+    __slots__ = ("store", "_version", "_scan", "_hash", "_sorted")
+
+    def __init__(self, store: ColumnStore):
+        self.store = store
+        self._version = store.version
+        self._scan: ScanPath | None = None
+        self._hash: dict[tuple[int, ...], HashIndexPath] = {}
+        self._sorted: dict[int, SortedViewPath] = {}
+
+    def _validate(self) -> None:
+        if self._version != self.store.version:
+            self._version = self.store.version
+            self._scan = None
+            self._hash.clear()
+            self._sorted.clear()
+
+    def rebind(self, store: ColumnStore) -> None:
+        """Point the cache at a different store (pickle restore)."""
+        self.store = store
+        self._version = store.version
+        self._scan = None
+        self._hash.clear()
+        self._sorted.clear()
+
+    def scan(self) -> ScanPath:
+        """The (single) scan path."""
+        self._validate()
+        if self._scan is None:
+            self._scan = ScanPath(self.store)
+        return self._scan
+
+    def hash_index(self, key_positions: Sequence[int]) -> HashIndexPath:
+        """The hash path on a column-position tuple."""
+        self._validate()
+        key = tuple(key_positions)
+        path = self._hash.get(key)
+        if path is None:
+            path = self._hash[key] = HashIndexPath(self.store, key)
+        return path
+
+    def sorted_view(self, position: int) -> SortedViewPath:
+        """The sorted path on one column position."""
+        self._validate()
+        path = self._sorted.get(position)
+        if path is None:
+            path = self._sorted[position] = SortedViewPath(self.store, position)
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AccessPathCache(v={self._version}, hash={len(self._hash)}, "
+            f"sorted={len(self._sorted)})"
+        )

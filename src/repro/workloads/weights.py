@@ -45,10 +45,8 @@ def random_weights(
 def log_degree_weights(relation: Relation, attr: str) -> dict:
     """``w(v) = log2(1 + deg(v))`` over one column of an edge relation
     (the paper's "logarithmic" scheme)."""
-    pos = relation.position(attr)
     degrees: dict = {}
-    for row in relation.tuples:
-        v = row[pos]
+    for v in relation.scan().column(relation.position(attr)):
         degrees[v] = degrees.get(v, 0) + 1
     return {v: math.log2(1 + d) for v, d in degrees.items()}
 

@@ -351,10 +351,10 @@ class TestContainsCache:
 
         rel = Relation("R", ("a",), [(i,) for i in range(100)])
         assert (5,) in rel
-        assert rel._tuple_set is not None  # cache built past the 64-row cutoff
+        assert rel._store._row_set is not None  # cache built past the 64-row cutoff
         assert (100,) not in rel
         rel.add((100,))
-        assert rel._tuple_set is None  # invalidated on mutation
+        assert rel._store._row_set is None  # invalidated on mutation
         assert (100,) in rel
 
     def test_small_relation_skips_the_cache(self):
@@ -362,4 +362,4 @@ class TestContainsCache:
 
         rel = Relation("R", ("a",), [(1,), (2,)])
         assert (1,) in rel and (3,) not in rel
-        assert rel._tuple_set is None
+        assert rel._store._row_set is None

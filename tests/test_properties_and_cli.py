@@ -99,6 +99,51 @@ class TestCli:
         assert code == 0
         assert out.splitlines()[0].startswith("1,1")
 
+    def test_format_json(self, data_dir, capsys):
+        import json as json_mod
+
+        code, out, _ = run_cli(
+            [self.QUERY, "--data", data_dir, "--k", "3", "--format", "json"], capsys
+        )
+        assert code == 0
+        doc = json_mod.loads(out)
+        assert doc["head"] == ["a1", "a2"]
+        assert doc["count"] == 3 and len(doc["answers"]) == 3
+        assert doc["answers"][0] == {"values": [1, 1], "score": 2.0}
+
+    def test_format_json_lex_scores_are_lists(self, data_dir, capsys):
+        import json as json_mod
+
+        code, out, _ = run_cli(
+            [
+                self.QUERY, "--data", data_dir, "--k", "1",
+                "--rank", "lex", "--format", "json",
+            ],
+            capsys,
+        )
+        assert code == 0
+        doc = json_mod.loads(out)
+        assert doc["answers"][0]["score"] == [1, 1]
+
+    def test_format_table(self, data_dir, capsys):
+        code, out, _ = run_cli(
+            [self.QUERY, "--data", data_dir, "--k", "2", "--format", "table"], capsys
+        )
+        assert code == 0
+        lines = out.splitlines()
+        assert lines[0].split() == ["a1", "a2", "score"]
+        assert set(lines[1]) <= {"-", " "}  # the header rule
+        assert lines[2].split() == ["1", "1", "2.0"]
+
+    def test_format_csv_is_default(self, data_dir, capsys):
+        _code, explicit, _ = run_cli(
+            [self.QUERY, "--data", data_dir, "--k", "2", "--format", "csv"], capsys
+        )
+        _code, default, _ = run_cli(
+            [self.QUERY, "--data", data_dir, "--k", "2"], capsys
+        )
+        assert explicit == default
+
     def test_explain(self, data_dir, capsys):
         code, out, _ = run_cli([self.QUERY, "--data", data_dir, "--explain"], capsys)
         assert code == 0

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Storage-layering gate: physical tuple access stays in the storage layer.
+
+The refactor that introduced :mod:`repro.storage` moved every physical
+storage detail — row lists, hash-index dicts, sorted-column caches —
+behind the ``AccessPath`` interface.  This gate keeps it that way: no
+module under ``src/repro`` outside ``repro/storage/`` and
+``repro/data/relation.py`` may mention
+
+* ``.tuples``       (raw row-list access),
+* ``._indexes``     (the pre-refactor private index cache),
+* ``._sorted_cols`` (the pre-refactor private sorted-column cache).
+
+Consumers go through ``Relation.scan()`` / ``hash_path()`` /
+``sorted_path()`` / ``instance_rows()`` (or the public wrappers
+``index()`` / ``sorted_domain()`` built on them).  Tests and benchmarks
+are intentionally out of scope — white-box assertions there are fine.
+
+Run:  python tools/check_layering.py
+
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+
+#: Physical-storage spellings no consumer module may contain.
+FORBIDDEN = re.compile(r"\.tuples\b|\._indexes\b|\._sorted_cols\b")
+
+#: The only places allowed to touch physical storage directly.
+ALLOWED = (
+    os.path.join("repro", "storage") + os.sep,
+    os.path.join("repro", "data", "relation.py"),
+)
+
+
+def is_allowed(relpath: str) -> bool:
+    return any(relpath.startswith(a) or relpath == a for a in ALLOWED)
+
+
+def check() -> list[str]:
+    violations: list[str] = []
+    for dirpath, _dirnames, filenames in os.walk(SRC_ROOT):
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            rel_to_src = os.path.relpath(path, os.path.join(REPO_ROOT, "src"))
+            if is_allowed(rel_to_src):
+                continue
+            with open(path, encoding="utf-8") as fh:
+                for lineno, line in enumerate(fh, start=1):
+                    match = FORBIDDEN.search(line)
+                    if match:
+                        violations.append(
+                            f"{os.path.relpath(path, REPO_ROOT)}:{lineno}: "
+                            f"raw storage access {match.group(0)!r} — go through "
+                            "the AccessPath interface (Relation.scan/hash_path/"
+                            "sorted_path/instance_rows)"
+                        )
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    if violations:
+        print(f"storage layering violations ({len(violations)}):")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("layering ok: physical storage access confined to repro/storage "
+          "and repro/data/relation.py")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
