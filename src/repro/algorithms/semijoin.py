@@ -4,11 +4,21 @@ The enumerators and the Yannakakis reducer work on *atom instances*:
 plain lists of tuples whose columns align with an atom's variable tuple.
 These helpers implement the hash-based primitives over that
 representation.
+
+Both :func:`semijoin` and :func:`antijoin` dispatch large multi-column
+inputs to the vectorised membership kernels
+(:mod:`repro.storage.kernels`) when the key columns are integer-valued —
+packed ``int64`` keys and one ``np.isin`` pass instead of a per-row
+tuple build + set probe — and fall back to the set-based path otherwise.
+Outputs are identical either way (the surviving rows are the original
+tuple objects, in input order).
 """
 
 from __future__ import annotations
 
 from typing import Sequence
+
+from ..storage import kernels
 
 __all__ = ["shared_positions", "key_set", "semijoin", "antijoin"]
 
@@ -38,6 +48,50 @@ def key_set(rows: Sequence[Row], positions: Sequence[int]) -> set[tuple]:
     return {tuple(r[i] for i in pos) for r in rows}
 
 
+def _kernel_filter(
+    left_rows: Sequence[Row],
+    left_positions: Sequence[int],
+    right_rows: Sequence[Row],
+    right_positions: Sequence[int],
+    *,
+    anti: bool,
+) -> list[Row] | None:
+    """Surviving left rows via an array membership mask, or ``None``.
+
+    Only attempted where the kernels actually win: multi-column keys
+    (the Python path must build a tuple per row) on inputs large enough
+    to amortise the per-call column conversion.  Single-column keys stay
+    on Python sets, which are already tuple-free and fast.
+    """
+    if len(left_positions) < 2 or not kernels.enabled():
+        return None
+    if len(left_rows) + len(right_rows) < kernels.MIN_DISPATCH_ROWS:
+        return None
+    # Cheap first-row probe before any O(n) column conversion: string-
+    # or otherwise fat-keyed data answers with two type checks per call
+    # instead of a full wasted pass (the conversion still validates
+    # every cell when the probe passes).
+    if left_rows and any(type(left_rows[0][i]) is not int for i in left_positions):
+        kernels.counters.fallbacks += 1
+        return None
+    if right_rows and any(
+        type(right_rows[0][j]) is not int for j in right_positions
+    ):
+        kernels.counters.fallbacks += 1
+        return None
+    left_cols = kernels.key_columns(left_rows, left_positions)
+    right_cols = kernels.key_columns(right_rows, right_positions)
+    if left_cols is None or right_cols is None:
+        kernels.counters.fallbacks += 1
+        return None
+    packed = kernels.pack_pair(left_cols, right_cols)
+    if packed is None:
+        kernels.counters.fallbacks += 1
+        return None
+    mask = kernels.antijoin_mask(*packed) if anti else kernels.semijoin_mask(*packed)
+    return [left_rows[i] for i in kernels.np.nonzero(mask)[0].tolist()]
+
+
 def semijoin(
     left_rows: Sequence[Row],
     left_positions: Sequence[int],
@@ -59,6 +113,11 @@ def semijoin(
         keys = {r[j] for r in right_rows}
         i = left_positions[0]
         return [r for r in left_rows if r[i] in keys]
+    vectorised = _kernel_filter(
+        left_rows, left_positions, right_rows, right_positions, anti=False
+    )
+    if vectorised is not None:
+        return vectorised
     keys = key_set(right_rows, right_positions)
     pos = tuple(left_positions)
     return [r for r in left_rows if tuple(r[i] for i in pos) in keys]
@@ -73,6 +132,19 @@ def antijoin(
     """``left ▷ right``: left rows with *no* join partner on the right."""
     if not left_positions and not right_positions:
         return [] if right_rows else list(left_rows)
+    if not right_rows:
+        return list(left_rows)
+    if len(left_positions) == 1 and len(right_positions) == 1:
+        # Mirror of semijoin's fast path: no per-row key tuples.
+        j = right_positions[0]
+        keys = {r[j] for r in right_rows}
+        i = left_positions[0]
+        return [r for r in left_rows if r[i] not in keys]
+    vectorised = _kernel_filter(
+        left_rows, left_positions, right_rows, right_positions, anti=True
+    )
+    if vectorised is not None:
+        return vectorised
     keys = key_set(right_rows, right_positions)
     pos = tuple(left_positions)
     return [r for r in left_rows if tuple(r[i] for i in pos) not in keys]

@@ -25,12 +25,56 @@ from ..data.index import group_by
 from ..errors import QueryError
 from ..query.jointree import JoinTree, JoinTreeNode, build_join_tree
 from ..query.query import JoinProjectQuery
+from ..storage import kernels
 from .semijoin import semijoin, shared_positions
 
-__all__ = ["atom_instances", "full_reduce", "project_join", "evaluate"]
+__all__ = [
+    "AtomInstances",
+    "atom_instances",
+    "full_reduce",
+    "project_join",
+    "evaluate",
+]
 
 Row = tuple
 Instances = dict[str, list[Row]]
+
+
+class AtomInstances(dict):
+    """Per-alias row lists that can also serve their code matrices.
+
+    Behaves exactly like the plain ``dict[str, list[Row]]`` every
+    consumer expects; additionally each alias bound through
+    :func:`atom_instances` remembers its relation + view signature, so
+    the vectorised reducer and the GHD bag materialiser can fetch the
+    ``int64`` matrix aligned with the row list
+    (:meth:`repro.data.relation.Relation.instance_codes`) without
+    re-converting tuples — the matrices are cached at the storage layer
+    per store version.
+    """
+
+    __slots__ = ("_sources",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._sources: dict[str, tuple] = {}
+
+    def bind_source(self, alias, relation, positions, selections, distinct) -> None:
+        """Record where an alias's rows came from (enables ``codes``)."""
+        self._sources[alias] = (
+            relation,
+            tuple(positions),
+            tuple(selections),
+            bool(distinct),
+        )
+
+    def codes(self, alias: str):
+        """The code matrix aligned with ``self[alias]``, or ``None``."""
+        source = self._sources.get(alias)
+        if source is None:
+            return None
+        relation, positions, selections, distinct = source
+        return relation.instance_codes(positions, selections, distinct=distinct)
 
 
 def atom_instances(
@@ -53,7 +97,7 @@ def atom_instances(
     lists, never mutate them in place (``full_reduce`` and every
     enumerator already copy before filtering).
     """
-    out: Instances = {}
+    out = AtomInstances()
     for atom in query.atoms:
         rel = db[atom.relation]
         if rel.arity != atom.arity:
@@ -64,14 +108,60 @@ def atom_instances(
         out[atom.alias] = rel.instance_rows(
             atom.variable_positions, atom.selections, distinct=distinct
         )
+        out.bind_source(
+            atom.alias, rel, atom.variable_positions, atom.selections, distinct
+        )
     return out
 
 
-def full_reduce(tree: JoinTree, instances: Mapping[str, list[Row]]) -> Instances:
+def instance_matrix(instances: Mapping[str, list[Row]], alias: str, width: int):
+    """The code matrix for one bound alias, or ``None``.
+
+    Prefers the storage-cached matrix of an :class:`AtomInstances`
+    binding; falls back to a one-off conversion of the row list.  The
+    length check guards against any drift between a cached matrix and
+    the row list it must mirror.
+    """
+    rows = instances[alias]
+    codes_of = getattr(instances, "codes", None)
+    matrix = codes_of(alias) if codes_of is not None else None
+    if matrix is None:
+        matrix = kernels.codes_matrix(rows, width)
+    if matrix is None or len(matrix) != len(rows):
+        return None
+    return matrix
+
+
+def full_reduce(
+    tree: JoinTree,
+    instances: Mapping[str, list[Row]],
+    *,
+    use_kernels: bool | None = None,
+) -> Instances:
     """Remove all dangling tuples (two semi-join sweeps, O(|D|) passes).
 
     Returns fresh per-alias row lists; the input mapping is not mutated.
+
+    When the instances are integer-coded (dictionary-encoded execution,
+    or plain integer data) and NumPy is available, the sweeps run as
+    array kernels — packed keys, ``np.isin`` membership masks, index
+    gathers — with output lists identical to the row-at-a-time path
+    (same tuples, same order).  ``use_kernels`` forces the choice for
+    the batched sweep (``None`` = automatic); non-representable data
+    falls back transparently.  Note that the fallback sweep runs
+    through :func:`~repro.algorithms.semijoin.semijoin`, whose own
+    large-multi-column kernel dispatch still applies — use
+    :func:`repro.storage.kernels.set_enabled` to disable vectorisation
+    entirely (as the benchmarks do for their row-at-a-time baselines).
     """
+    if use_kernels is None:
+        use_kernels = kernels.enabled()
+    if use_kernels and kernels.enabled():
+        state = _kernel_full_reduce(tree, instances)
+        if state is not None:
+            return state
+        kernels.counters.fallbacks += 1
+
     state: Instances = {alias: list(rows) for alias, rows in instances.items()}
 
     # Bottom-up: parent ⋉ child for every edge, children first.
@@ -90,6 +180,75 @@ def full_reduce(tree: JoinTree, instances: Mapping[str, list[Row]]) -> Instances
                 state[child.alias], c_pos, state[node.alias], p_pos
             )
     return state
+
+
+def _kernel_full_reduce(
+    tree: JoinTree, instances: Mapping[str, list[Row]]
+) -> Instances | None:
+    """Both semi-join sweeps as array ops; ``None`` → caller falls back.
+
+    Per alias the reducer tracks the surviving-row index array instead
+    of rebuilding row lists per edge; the final lists are gathered from
+    the *original* tuples, so output identity (objects included) is
+    exact.
+    """
+    np = kernels.np
+    matrices = {}
+    for node in tree.nodes:
+        matrix = instance_matrix(instances, node.alias, len(node.atom.variables))
+        if matrix is None:
+            return None
+        matrices[node.alias] = matrix
+
+    current = matrices
+    survivors: dict[str, object] = {}
+
+    def filter_with(alias: str, mask) -> None:
+        if mask.all():
+            return
+        selected = np.nonzero(mask)[0]
+        current[alias] = current[alias][selected]
+        kept = survivors.get(alias)
+        survivors[alias] = selected if kept is None else kept[selected]
+
+    def semi(a_alias, a_pos, b_alias, b_pos) -> bool:
+        """``a ⋉ b`` in place; False → unpackable key (full fallback)."""
+        a_mat, b_mat = current[a_alias], current[b_alias]
+        if not a_pos:  # cartesian edge: keep a iff b is non-empty
+            if len(b_mat) == 0 and len(a_mat):
+                filter_with(a_alias, np.zeros(len(a_mat), dtype=bool))
+            return True
+        if len(a_mat) == 0:
+            return True
+        if len(b_mat) == 0:
+            filter_with(a_alias, np.zeros(len(a_mat), dtype=bool))
+            return True
+        packed = kernels.pack_pair(
+            [a_mat[:, i] for i in a_pos], [b_mat[:, j] for j in b_pos]
+        )
+        if packed is None:
+            return False
+        filter_with(a_alias, kernels.semijoin_mask(*packed))
+        return True
+
+    for node in tree.post_order():
+        for child in node.children:
+            p_pos, c_pos = shared_positions(node.atom.variables, child.atom.variables)
+            if not semi(node.alias, p_pos, child.alias, c_pos):
+                return None
+    for node in tree.pre_order():
+        for child in node.children:
+            p_pos, c_pos = shared_positions(node.atom.variables, child.atom.variables)
+            if not semi(child.alias, c_pos, node.alias, p_pos):
+                return None
+
+    out: Instances = {}
+    for alias, rows in instances.items():
+        kept = survivors.get(alias)
+        out[alias] = (
+            list(rows) if kept is None else [rows[i] for i in kept.tolist()]
+        )
+    return out
 
 
 def _join_on(

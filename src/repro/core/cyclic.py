@@ -23,12 +23,13 @@ from __future__ import annotations
 import time
 from typing import Any, Iterator
 
-from ..algorithms.yannakakis import atom_instances
+from ..algorithms.yannakakis import atom_instances, instance_matrix
 from ..data.database import Database
 from ..data.index import group_by
 from ..errors import DecompositionError
 from ..query.ghd import GHD, find_ghd
 from ..query.query import Atom, JoinProjectQuery
+from ..storage import kernels
 from .acyclic import AcyclicRankedEnumerator
 from .answers import EnumerationStats, RankedAnswer
 from .base import RankedEnumeratorBase
@@ -125,7 +126,18 @@ class CyclicRankedEnumerator(RankedEnumeratorBase):
         atoms_by_alias: dict[str, Atom],
     ) -> list[Row]:
         """Join the atoms contained in a bag, extend uncovered variables
-        with unary domains, project onto the bag and de-duplicate."""
+        with unary domains, project onto the bag and de-duplicate.
+
+        Integer-coded instances (encoded execution, plain-int data) run
+        the whole pipeline — joins, projection, dedup — as array
+        kernels; the row-at-a-time hash join below is the automatic
+        fallback and produces identical rows in identical order.
+        """
+        if kernels.enabled():
+            rows = self._materialise_bag_kernel(bag, bag_vars, instances, atoms_by_alias)
+            if rows is not None:
+                return rows
+            kernels.counters.fallbacks += 1
         components: list[tuple[tuple[str, ...], list[Row]]] = []
         covered: set[str] = set()
         for alias in bag.contained_atom_aliases:
@@ -176,6 +188,76 @@ class CyclicRankedEnumerator(RankedEnumeratorBase):
                 out.append(projected)
         return out
 
+    def _materialise_bag_kernel(
+        self,
+        bag,
+        bag_vars: tuple[str, ...],
+        instances: dict[str, list[Row]],
+        atoms_by_alias: dict[str, Atom],
+    ) -> list[Row] | None:
+        """The bag join as array kernels; ``None`` → row-at-a-time path.
+
+        Mirrors the Python materialisation step for step — same
+        component order, same greedy join order, same left-major join
+        sequence, same first-occurrence dedup — so the returned rows
+        are identical, in identical order.
+        """
+        np = kernels.np
+        components: list[tuple[tuple[str, ...], Any]] = []
+        covered: set[str] = set()
+        for alias in bag.contained_atom_aliases:
+            atom = atoms_by_alias[alias]
+            matrix = instance_matrix(instances, alias, len(atom.variables))
+            # Unlike the reducer (which re-emits the original tuples),
+            # the bag rows are rebuilt from codes — so the inputs must
+            # be exactly ints, not merely int-coercible (bool, IntEnum).
+            if matrix is None or not kernels.rows_exactly_int(instances[alias]):
+                return None
+            components.append((atom.variables, matrix))
+            covered |= atom.var_set
+
+        for var in bag_vars:
+            if var in covered:
+                continue
+            holders = [
+                (alias, atom.variables.index(var))
+                for alias, atom in atoms_by_alias.items()
+                if var in atom.var_set
+            ]
+            if not holders:  # pragma: no cover - query validation precludes
+                raise DecompositionError(f"variable {var!r} appears in no atom")
+            alias, pos = min(holders, key=lambda ap: len(instances[ap[0]]))
+            source = instance_matrix(
+                instances, alias, len(atoms_by_alias[alias].variables)
+            )
+            if source is None or not kernels.rows_exactly_int(
+                instances[alias], (pos,)
+            ):
+                return None
+            # np.unique ascending == sorted(set(...)) on integers.
+            components.append(((var,), np.unique(source[:, pos]).reshape(-1, 1)))
+            covered.add(var)
+
+        acc_vars, acc = components[0]
+        remaining = components[1:]
+        while remaining:
+            pick = next(
+                (i for i, (vs, _m) in enumerate(remaining) if set(vs) & set(acc_vars)),
+                0,
+            )
+            comp_vars, comp = remaining.pop(pick)
+            joined = _kernel_join(acc, acc_vars, comp, comp_vars)
+            if joined is None:
+                return None
+            acc, acc_vars = joined
+
+        positions = [acc_vars.index(v) for v in bag_vars]
+        projected = acc[:, positions]
+        first = kernels.distinct_indices(projected)
+        if first is None:
+            return None
+        return [tuple(r) for r in projected[first].tolist()]
+
     # ------------------------------------------------------------------ #
     # enumeration: delegate to the acyclic enumerator over the bag tree
     # ------------------------------------------------------------------ #
@@ -204,6 +286,45 @@ class CyclicRankedEnumerator(RankedEnumeratorBase):
             ghd=self.ghd,
             dedup_inserts=self._dedup_inserts,
         )
+
+
+def _kernel_join(
+    left,
+    left_vars: tuple[str, ...],
+    right,
+    right_vars: tuple[str, ...],
+):
+    """Hash join two code matrices (cartesian when disjoint).
+
+    Output row order matches :func:`_hash_join` exactly: left-major,
+    right matches in store order.  ``None`` when the join key does not
+    pack into 64 bits.
+    """
+    np = kernels.np
+    shared = [v for v in left_vars if v in right_vars]
+    l_pos = tuple(left_vars.index(v) for v in shared)
+    r_pos = tuple(right_vars.index(v) for v in shared)
+    extra = [i for i, v in enumerate(right_vars) if v not in left_vars]
+    out_vars = tuple(left_vars) + tuple(right_vars[i] for i in extra)
+    width = len(out_vars)
+    if len(left) == 0 or len(right) == 0:
+        return np.empty((0, width), dtype=np.int64), out_vars
+    if not l_pos:
+        left_idx, right_idx = kernels.cross_indices(len(left), len(right))
+    else:
+        packed = kernels.pack_pair(
+            [left[:, i] for i in l_pos], [right[:, j] for j in r_pos]
+        )
+        if packed is None:
+            return None
+        left_idx, right_idx = kernels.join_indices(*packed)
+    parts = [left[left_idx]]
+    if extra:
+        parts.append(right[right_idx][:, extra])
+    return (
+        parts[0] if len(parts) == 1 else np.concatenate(parts, axis=1),
+        out_vars,
+    )
 
 
 def _hash_join(

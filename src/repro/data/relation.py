@@ -263,6 +263,24 @@ class Relation:
         """
         return self._paths.scan().view(positions, selections, distinct)
 
+    def instance_codes(
+        self,
+        positions: Sequence[int],
+        selections: Sequence[tuple[int, Value]] = (),
+        *,
+        distinct: bool = False,
+    ):
+        """The ``int64`` code matrix aligned with :meth:`instance_rows`.
+
+        Row ``i`` of the matrix encodes row ``i`` of the corresponding
+        :meth:`instance_rows` list — the representation the vectorised
+        kernels (:mod:`repro.storage.kernels`) operate on.  ``None``
+        whenever the view is not exactly representable as integers
+        (NumPy absent, non-integer values, unpackable distinct keys);
+        callers then stay on the Python row lists.
+        """
+        return self._paths.scan().codes_view(positions, selections, distinct)
+
     # ------------------------------------------------------------------ #
     # algebra helpers (used by baselines, workloads and tests)
     # ------------------------------------------------------------------ #

@@ -58,6 +58,7 @@ from ..data.relation import Value
 from ..query.parser import parse_query
 from ..query.properties import classify_query, delay_guarantee
 from ..query.query import JoinProjectQuery, UnionQuery
+from ..storage import kernels
 from ..storage.encoded import EncodedDatabase
 from .lru import LRUCache
 from .prepared import PreparedPlan
@@ -120,6 +121,19 @@ class QueryEngine:
 
     def _count_plan_eviction(self, _key, _value) -> None:
         self.stats.plan_evictions += 1
+
+    def _absorb_kernel_counters(self, before: tuple[int, int]) -> None:
+        """Attribute kernel work done since ``before`` to this engine.
+
+        The kernel counters are process-global (the kernels run below
+        the engine, inside the reducer and the access paths); the
+        execute paths snapshot them around each call so
+        ``stats.kernel_calls`` / ``kernel_fallbacks`` reflect this
+        session's executions.
+        """
+        calls, fallbacks = kernels.counters.snapshot()
+        self.stats.kernel_calls += calls - before[0]
+        self.stats.kernel_fallbacks += fallbacks - before[1]
 
     # ------------------------------------------------------------------ #
     # data management
@@ -382,11 +396,13 @@ class QueryEngine:
         tree construction and the full-reducer pass.
         """
         started = time.perf_counter()
+        kernels_before = kernels.counters.snapshot()
         parsed = self.parse(query)
         enum = self.stream(
             parsed, ranking, method=method, epsilon=epsilon, delta=delta, **kwargs
         )
         answers = enum.all() if k is None else enum.top_k(k)
+        self._absorb_kernel_counters(kernels_before)
         # Timings are keyed by the query's structure, not its name: head
         # predicates are conventionally all called Q, which would fold
         # every query in a session into one bucket.
@@ -600,6 +616,7 @@ class QueryEngine:
         from ..parallel import DEFAULT_CHUNK_SIZE, stream_sharded
 
         started = time.perf_counter()
+        kernels_before = kernels.counters.snapshot()
         parsed = self.parse(query)
         # The cached parallel plan (of the rewritten query) is what the
         # shard workers instantiate — warm parallel executions skip
@@ -653,6 +670,7 @@ class QueryEngine:
                 answers, prepared.plan.kind, prepared.plan.ranking
             )
         self.stats.parallel_executions += 1
+        self._absorb_kernel_counters(kernels_before)
         self.stats.record_execution(repr(parsed), time.perf_counter() - started)
         return answers
 

@@ -73,6 +73,19 @@ class EngineStats:
         Dictionary (re)builds of the encoded database image, and
         executions that fell back to plain-row execution (unsupported
         ranking class, caller-supplied instances, or unencodable data).
+    kernel_calls / kernel_fallbacks:
+        Vectorised-kernel invocations (semi-join masks, hash grouping,
+        bag joins — see :mod:`repro.storage.kernels`) made while serving
+        this engine's ``execute`` / ``execute_parallel`` calls, and the
+        operations that fell back to row-at-a-time Python because the
+        data was not exactly integer-representable (or a packed key
+        overflowed).  Zero for both when NumPy is not installed.
+        Best-effort observability, not an audit trail: the counters are
+        process-global and incremented without locking, so with the
+        ``processes`` parallel backend shard-side kernel work (done in
+        worker processes) is not reflected at all, and concurrent
+        engines or the ``threads`` backend may attribute or lose a few
+        increments across threads.  The ``serial`` backend is exact.
     executions / total_seconds / per_query:
         Execution counts and wall-clock, overall and per query name.
     """
@@ -92,6 +105,8 @@ class EngineStats:
         "batch_executions",
         "encode_builds",
         "encode_fallbacks",
+        "kernel_calls",
+        "kernel_fallbacks",
         "executions",
         "total_seconds",
         "per_query",
@@ -116,6 +131,8 @@ class EngineStats:
         self.batch_executions = 0
         self.encode_builds = 0
         self.encode_fallbacks = 0
+        self.kernel_calls = 0
+        self.kernel_fallbacks = 0
         self.executions = 0
         self.total_seconds = 0.0
         self.per_query: dict[str, QueryTiming] = {}
@@ -158,6 +175,8 @@ class EngineStats:
             "batch_executions": self.batch_executions,
             "encode_builds": self.encode_builds,
             "encode_fallbacks": self.encode_fallbacks,
+            "kernel_calls": self.kernel_calls,
+            "kernel_fallbacks": self.kernel_fallbacks,
             "per_query": {
                 name: timing.snapshot() for name, timing in self.per_query.items()
             },

@@ -25,6 +25,7 @@ Three ideas live here:
   scores, ties and order are identical to plain execution.
 """
 
+from . import kernels
 from .columnstore import ColumnStore
 from .dictionary import Dictionary
 from .paths import (
@@ -59,5 +60,6 @@ __all__ = [
     "HashIndexPath",
     "ScanPath",
     "SortedViewPath",
+    "kernels",
     "wrap_ranking",
 ]

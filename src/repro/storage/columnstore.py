@@ -15,10 +15,16 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Sequence
 
+from . import kernels
+
 __all__ = ["ColumnStore"]
 
 Row = tuple
 Value = Any
+
+#: Sentinel: the codes matrix has not been derived for this version yet
+#: (``None`` is a valid, cached "not representable" answer).
+_UNBUILT = object()
 
 
 class ColumnStore:
@@ -36,7 +42,7 @@ class ColumnStore:
     (1, (3, 'z'))
     """
 
-    __slots__ = ("arity", "columns", "version", "_rows", "_row_set")
+    __slots__ = ("arity", "columns", "version", "_rows", "_row_set", "_codes_arr")
 
     def __init__(self, arity: int):
         if arity < 1:
@@ -48,6 +54,7 @@ class ColumnStore:
         self.version = 0
         self._rows: list[Row] | None = None
         self._row_set: set[Row] | None = None
+        self._codes_arr: Any = _UNBUILT
 
     @classmethod
     def from_rows(cls, arity: int, rows: Iterable[Sequence[Value]]) -> "ColumnStore":
@@ -105,6 +112,35 @@ class ColumnStore:
             return [(v,) for v in self.columns[positions[0]]]
         return list(zip(*(self.columns[i] for i in positions)))
 
+    def codes_array(self):
+        """The store as one ``(n, arity)`` ``int64`` matrix, or ``None``.
+
+        Built once per version when every column is exactly
+        integer-valued (dense dictionary codes, or plain-int data) and
+        cached like the row view; ``None`` — also cached — whenever any
+        column holds floats, bools, strings or over-wide integers.
+        This is the raw-column surface of the kernel layer
+        (:mod:`repro.storage.kernels`); consumers outside the storage
+        package reach it only through access-path/relation wrappers
+        (``tools/check_layering.py`` enforces that).
+        """
+        if not kernels.HAS_NUMPY:
+            return None
+        cached = self._codes_arr
+        if cached is _UNBUILT:
+            cols = []
+            for column in self.columns:
+                arr = kernels.column_array(column)
+                if arr is None:
+                    cols = None
+                    break
+                cols.append(arr)
+            cached = (
+                None if cols is None else kernels.np.stack(cols, axis=1)
+            )
+            self._codes_arr = cached
+        return cached
+
     def contains(self, row: Row) -> bool:
         """Multiset membership (hash set built lazily, cached per version)."""
         if len(self) <= 64:
@@ -136,6 +172,7 @@ class ColumnStore:
         self.version += 1
         self._rows = None
         self._row_set = None
+        self._codes_arr = _UNBUILT
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ColumnStore(arity={self.arity}, n={len(self)}, v={self.version})"
@@ -150,3 +187,4 @@ class ColumnStore:
         self.arity, self.columns, self.version = state
         self._rows = None
         self._row_set = None
+        self._codes_arr = _UNBUILT

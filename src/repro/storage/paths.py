@@ -23,6 +23,7 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterable, Iterator, Sequence
 
+from . import kernels
 from .columnstore import ColumnStore
 
 __all__ = [
@@ -70,7 +71,7 @@ class ScanPath(AccessPath):
     [(1,), (2,), (1,)]
     """
 
-    __slots__ = ("_views",)
+    __slots__ = ("_views", "_code_views")
 
     kind = "scan"
 
@@ -85,6 +86,7 @@ class ScanPath(AccessPath):
     def __init__(self, store: ColumnStore):
         super().__init__(store)
         self._views: dict[ScanKey, list[Row]] = {}
+        self._code_views: dict[ScanKey, Any] = {}
 
     def rows(self) -> list[Row]:
         """All rows in store order (shared cached list — do not mutate)."""
@@ -154,6 +156,65 @@ class ScanPath(AccessPath):
             rows = out
         return rows
 
+    def codes_view(
+        self,
+        positions: Sequence[int],
+        selections: Sequence[tuple[int, Value]] = (),
+        distinct: bool = False,
+    ):
+        """The ``int64`` code matrix aligned row-for-row with :meth:`view`.
+
+        Cached per signature like the row views; ``None`` whenever the
+        kernel layer cannot represent the view exactly (NumPy absent,
+        non-integer values, a selection constant that is not a real
+        number, or a distinct key too wide to pack).  Consumers treat
+        ``None`` as "iterate the Python rows".
+        """
+        if not kernels.enabled():
+            return None
+        key: ScanKey = (tuple(positions), tuple(selections), bool(distinct))
+        if key in self._code_views:
+            return self._code_views[key]
+        if len(self._code_views) >= self.MAX_VIEWS:
+            self._code_views.pop(next(iter(self._code_views)))
+        mat = self._build_codes_view(*key)
+        self._code_views[key] = mat
+        return mat
+
+    def _build_codes_view(
+        self,
+        positions: tuple[int, ...],
+        selections: tuple[tuple[int, Value], ...],
+        distinct: bool,
+    ):
+        np = kernels.np
+        base = self.store.codes_array()
+        if base is None:
+            return None
+        if selections:
+            for _col_pos, required in selections:
+                # bool is int; anything non-numeric compares elementwise
+                # differently (or not at all) under NumPy — refuse.
+                if not isinstance(required, (int, float)):
+                    return None
+            mask = np.ones(len(base), dtype=bool)
+            try:
+                for col_pos, required in selections:
+                    mask &= base[:, col_pos] == required
+            except (TypeError, OverflowError):  # e.g. beyond-int64 constants
+                return None
+            base = base[mask]
+        if positions:
+            mat = base[:, list(positions)]
+        else:
+            mat = np.empty((len(base), 0), dtype=np.int64)
+        if distinct:
+            first = kernels.distinct_indices(mat)
+            if first is None:
+                return None
+            mat = mat[first]
+        return mat
+
 
 class HashIndexPath(AccessPath):
     """Hash buckets ``key tuple -> [rows...]`` on a column set.
@@ -169,8 +230,22 @@ class HashIndexPath(AccessPath):
     def __init__(self, store: ColumnStore, key_positions: Sequence[int]):
         super().__init__(store)
         self.key_positions = tuple(key_positions)
-        buckets: dict[tuple, list[Row]] = {}
         rows = store.rows()
+        # Large integer-coded stores group through the kernel layer: one
+        # stable argsort instead of a per-row dict probe, with bucket
+        # contents and insertion order identical to the dict build.
+        if (
+            self.key_positions
+            and len(rows) >= kernels.MIN_GROUP_ROWS
+            and kernels.enabled()
+        ):
+            matrix = store.codes_array()
+            if matrix is not None:
+                grouped = kernels.hash_group(matrix, self.key_positions, rows)
+                if grouped is not None:
+                    self.buckets = grouped
+                    return
+        buckets: dict[tuple, list[Row]] = {}
         if not self.key_positions:
             buckets[()] = list(rows)
         elif len(self.key_positions) == 1:

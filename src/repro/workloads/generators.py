@@ -23,17 +23,30 @@ from __future__ import annotations
 
 from typing import Iterable
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via import stubbing
+    np = None  # type: ignore[assignment]
 
 from ..errors import WorkloadError
+
+
+def _require_numpy() -> None:
+    """The generators draw from numpy's RNG; fail with install advice."""
+    if np is None:
+        raise WorkloadError(
+            "the synthetic workload generators need numpy — install the "
+            "fast extra: pip install 'repro[fast]'"
+        )
 
 __all__ = ["zipf_bipartite", "uniform_bipartite", "power_law_graph", "zipf_probabilities"]
 
 Edge = tuple[int, int]
 
 
-def zipf_probabilities(n: int, skew: float) -> np.ndarray:
+def zipf_probabilities(n: int, skew: float) -> "np.ndarray":
     """Normalised truncated-Zipf probabilities ``p(i) ∝ (i+1)^-skew``."""
+    _require_numpy()
     if n <= 0:
         raise WorkloadError(f"domain size must be positive, got {n}")
     if skew < 0:
@@ -62,6 +75,7 @@ def zipf_bipartite(
 
     Returns ``[(left_id, right_id), ...]`` with ids in ``[0, n)``.
     """
+    _require_numpy()
     if n_edges < 0:
         raise WorkloadError(f"n_edges must be non-negative, got {n_edges}")
     capacity = n_left * n_right
@@ -123,6 +137,7 @@ def power_law_graph(
 
     Self-loops are rejected by default; duplicate edges always.
     """
+    _require_numpy()
     if n_nodes <= 0:
         raise WorkloadError(f"n_nodes must be positive, got {n_nodes}")
     capacity = n_nodes * n_nodes - (0 if allow_self_loops else n_nodes)

@@ -9,12 +9,20 @@ module under ``src/repro`` outside ``repro/storage/`` and
 
 * ``.tuples``       (raw row-list access),
 * ``._indexes``     (the pre-refactor private index cache),
-* ``._sorted_cols`` (the pre-refactor private sorted-column cache).
+* ``._sorted_cols`` (the pre-refactor private sorted-column cache),
+* ``.codes_array`` / ``.codes_view`` / ``._codes_arr``
+                    (raw code-column arrays: the kernel module,
+                    ``repro/storage/kernels.py``, is the only
+                    non-``relation.py`` consumer allowed to touch
+                    them; everything else receives arrays through
+                    ``Relation.instance_codes()`` or passes row lists
+                    to the kernel helpers).
 
 Consumers go through ``Relation.scan()`` / ``hash_path()`` /
-``sorted_path()`` / ``instance_rows()`` (or the public wrappers
-``index()`` / ``sorted_domain()`` built on them).  Tests and benchmarks
-are intentionally out of scope — white-box assertions there are fine.
+``sorted_path()`` / ``instance_rows()`` / ``instance_codes()`` (or the
+public wrappers ``index()`` / ``sorted_domain()`` built on them).
+Tests and benchmarks are intentionally out of scope — white-box
+assertions there are fine.
 
 Run:  python tools/check_layering.py
 
@@ -31,7 +39,10 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
 
 #: Physical-storage spellings no consumer module may contain.
-FORBIDDEN = re.compile(r"\.tuples\b|\._indexes\b|\._sorted_cols\b")
+FORBIDDEN = re.compile(
+    r"\.tuples\b|\._indexes\b|\._sorted_cols\b"
+    r"|\.codes_array\b|\.codes_view\b|\._codes_arr\b"
+)
 
 #: The only places allowed to touch physical storage directly.
 ALLOWED = (
@@ -62,7 +73,7 @@ def check() -> list[str]:
                             f"{os.path.relpath(path, REPO_ROOT)}:{lineno}: "
                             f"raw storage access {match.group(0)!r} — go through "
                             "the AccessPath interface (Relation.scan/hash_path/"
-                            "sorted_path/instance_rows)"
+                            "sorted_path/instance_rows/instance_codes)"
                         )
     return violations
 
