@@ -10,6 +10,10 @@ inputs to the vectorised membership kernels
 (:mod:`repro.storage.kernels`) when the key columns are integer-valued —
 packed ``int64`` keys and one ``np.isin`` pass instead of a per-row
 tuple build + set probe — and fall back to the set-based path otherwise.
+The size floor is the shared :func:`repro.storage.kernels.min_rows`
+threshold (default ``KERNEL_MIN_ROWS = 1024`` total rows across both
+sides — deliberately raised from the earlier standalone 512 when the
+thresholds were unified; override per engine or thread to retune).
 Outputs are identical either way (the surviving rows are the original
 tuple objects, in input order).
 """
@@ -65,28 +69,28 @@ def _kernel_filter(
     """
     if len(left_positions) < 2 or not kernels.enabled():
         return None
-    if len(left_rows) + len(right_rows) < kernels.MIN_DISPATCH_ROWS:
+    if len(left_rows) + len(right_rows) < kernels.min_rows():
         return None
     # Cheap first-row probe before any O(n) column conversion: string-
     # or otherwise fat-keyed data answers with two type checks per call
     # instead of a full wasted pass (the conversion still validates
     # every cell when the probe passes).
     if left_rows and any(type(left_rows[0][i]) is not int for i in left_positions):
-        kernels.counters.fallbacks += 1
+        kernels.counters.record_fallback()
         return None
     if right_rows and any(
         type(right_rows[0][j]) is not int for j in right_positions
     ):
-        kernels.counters.fallbacks += 1
+        kernels.counters.record_fallback()
         return None
     left_cols = kernels.key_columns(left_rows, left_positions)
     right_cols = kernels.key_columns(right_rows, right_positions)
     if left_cols is None or right_cols is None:
-        kernels.counters.fallbacks += 1
+        kernels.counters.record_fallback()
         return None
     packed = kernels.pack_pair(left_cols, right_cols)
     if packed is None:
-        kernels.counters.fallbacks += 1
+        kernels.counters.record_fallback()
         return None
     mask = kernels.antijoin_mask(*packed) if anti else kernels.semijoin_mask(*packed)
     return [left_rows[i] for i in kernels.np.nonzero(mask)[0].tolist()]

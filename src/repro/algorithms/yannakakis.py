@@ -30,6 +30,7 @@ from .semijoin import semijoin, shared_positions
 
 __all__ = [
     "AtomInstances",
+    "ReducedInstances",
     "atom_instances",
     "full_reduce",
     "project_join",
@@ -75,6 +76,72 @@ class AtomInstances(dict):
             return None
         relation, positions, selections, distinct = source
         return relation.instance_codes(positions, selections, distinct=distinct)
+
+    def source_of(self, alias: str):
+        """``(relation, positions, selections, distinct)`` or ``None``.
+
+        How the batched ranking path (:func:`repro.core.ranking.batched_node_keys`)
+        reaches the storage-cached score columns aligned with this
+        alias's rows.
+        """
+        return self._sources.get(alias)
+
+    def survivors_of(self, alias: str):
+        """Row indices of ``self[alias]`` within the source view.
+
+        ``None`` means "all view rows, in view order" — true by
+        construction for unreduced instances; :class:`ReducedInstances`
+        overrides this with the reducer's survivor arrays.
+        """
+        return None
+
+
+class ReducedInstances(AtomInstances):
+    """Fully-reduced per-alias rows that remember where they came from.
+
+    Produced by the vectorised reducer: each alias's surviving rows are
+    a gather of the original view list, and the gather indices are kept
+    so downstream array consumers (score columns) can project any
+    view-aligned array onto the reduced rows without re-deriving
+    anything.  Behaves exactly like the plain dict the scalar reducer
+    returns.
+    """
+
+    __slots__ = ("_survivors",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._survivors: dict[str, object] = {}
+
+    @classmethod
+    def from_reduction(cls, source: Mapping[str, list[Row]], rows_by_alias, survivors):
+        out = cls(rows_by_alias)
+        source_of = getattr(source, "source_of", None)
+        survivors_of = getattr(source, "survivors_of", None)
+        for alias in rows_by_alias:
+            if source_of is not None:
+                src = source_of(alias)
+                if src is not None:
+                    out.bind_source(alias, *src)
+            kept = survivors.get(alias)
+            # Compose with the input's own survivors (re-reducing an
+            # already-reduced instance): the stored indices must always
+            # be relative to the *view*, whatever the input was.
+            prior = survivors_of(alias) if survivors_of is not None else None
+            if prior is not None:
+                kept = prior if kept is None else prior[kept]
+            out._survivors[alias] = kept
+        return out
+
+    def survivors_of(self, alias: str):
+        return self._survivors.get(alias)
+
+    def codes(self, alias: str):
+        matrix = super().codes(alias)
+        if matrix is None:
+            return None
+        kept = self._survivors.get(alias)
+        return matrix if kept is None else matrix[kept]
 
 
 def atom_instances(
@@ -141,6 +208,11 @@ def full_reduce(
     """Remove all dangling tuples (two semi-join sweeps, O(|D|) passes).
 
     Returns fresh per-alias row lists; the input mapping is not mutated.
+    The vectorised sweep returns them as a :class:`ReducedInstances`
+    (still a plain dict to every existing consumer) carrying the
+    source-view bindings and survivor index arrays that let the score
+    columns of :mod:`repro.storage.scores` project onto the reduced
+    rows; the scalar sweep returns an ordinary dict.
 
     When the instances are integer-coded (dictionary-encoded execution,
     or plain integer data) and NumPy is available, the sweeps run as
@@ -160,7 +232,7 @@ def full_reduce(
         state = _kernel_full_reduce(tree, instances)
         if state is not None:
             return state
-        kernels.counters.fallbacks += 1
+        kernels.counters.record_fallback()
 
     state: Instances = {alias: list(rows) for alias, rows in instances.items()}
 
@@ -242,13 +314,13 @@ def _kernel_full_reduce(
             if not semi(child.alias, c_pos, node.alias, p_pos):
                 return None
 
-    out: Instances = {}
+    rows_by_alias: Instances = {}
     for alias, rows in instances.items():
         kept = survivors.get(alias)
-        out[alias] = (
+        rows_by_alias[alias] = (
             list(rows) if kept is None else [rows[i] for i in kept.tolist()]
         )
-    return out
+    return ReducedInstances.from_reduction(instances, rows_by_alias, survivors)
 
 
 def _join_on(

@@ -53,7 +53,7 @@ from .answers import EnumerationStats, RankedAnswer
 from .base import RankedEnumeratorBase
 from .cell import Cell, UNSET
 from .heap import HeapStats, RankHeap
-from .ranking import BoundRanking, RankingFunction, SumRanking
+from .ranking import BoundRanking, RankingFunction, SumRanking, batched_node_keys
 
 __all__ = ["AcyclicRankedEnumerator"]
 
@@ -208,8 +208,14 @@ class AcyclicRankedEnumerator(RankedEnumeratorBase):
             return self
         started = time.perf_counter()
 
+        # The given instances are used as-is (full_reduce copies before
+        # filtering, queue construction only reads) so that warm
+        # ReducedInstances keep their source-view bindings and survivor
+        # arrays — that metadata is what lets the batched key path below
+        # gather storage-cached score columns instead of re-weighing
+        # every row.
         if self._given_instances is not None:
-            instances = {a: list(r) for a, r in self._given_instances.items()}
+            instances = self._given_instances
         else:
             instances = atom_instances(self.query, self.db)
         if not self._already_reduced:
@@ -225,7 +231,10 @@ class AcyclicRankedEnumerator(RankedEnumeratorBase):
             children_rt = [rt_by_alias[c.alias] for c in node.children]
             rt = _RTNode(node, children_rt, head_position)
             rt_by_alias[node.alias] = rt
-            self._build_node_queues(rt, instances[node.alias])
+            # Vectorised scoring: the node's per-row keys in one array
+            # pass over its score columns, scalar fallback otherwise.
+            own_keys = batched_node_keys(self.bound, instances, node.alias, rt.own_pairs)
+            self._build_node_queues(rt, instances[node.alias], own_keys)
         self._root_rt = rt_by_alias[tree.root.alias]
         # Partial outputs are kept in head order throughout, so the root
         # output aligns with the query head directly.
@@ -240,12 +249,17 @@ class AcyclicRankedEnumerator(RankedEnumeratorBase):
         self.stats.preprocess_seconds = time.perf_counter() - started
         return self
 
-    def _build_node_queues(self, rt: _RTNode, rows: Sequence[Row]) -> None:
+    def _build_node_queues(
+        self, rt: _RTNode, rows: Sequence[Row], own_keys: Sequence | None = None
+    ) -> None:
         bound = self.bound
         make_key = bound.key
         combine = bound.combine
-        for row in rows:
-            own_key = make_key([(v, row[p]) for v, p in rt.own_pairs])
+        for i, row in enumerate(rows):
+            if own_keys is not None:
+                own_key = own_keys[i]
+            else:
+                own_key = make_key([(v, row[p]) for v, p in rt.own_pairs])
             own_out = tuple(row[p] for p in rt.own_positions)
             if rt.children:
                 child_cells = []

@@ -137,7 +137,7 @@ class CyclicRankedEnumerator(RankedEnumeratorBase):
             rows = self._materialise_bag_kernel(bag, bag_vars, instances, atoms_by_alias)
             if rows is not None:
                 return rows
-            kernels.counters.fallbacks += 1
+            kernels.counters.record_fallback()
         components: list[tuple[tuple[str, ...], list[Row]]] = []
         covered: set[str] = set()
         for alias in bag.contained_atom_aliases:

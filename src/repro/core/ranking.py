@@ -32,6 +32,21 @@ pairs kept sorted by position; merging two such keys is monotone for any
 assignment of positions, so the general algorithm supports arbitrary
 lexicographic orders without the paper's ``10^(m-i)`` weight transform
 (which assumes bounded domains).
+
+Batched keys
+------------
+The aggregate rankings additionally support a *vectorised* key path:
+:meth:`BoundRanking.combine_score_arrays` turns per-attribute weight
+arrays (score columns served by the storage layer, see
+:mod:`repro.storage.scores`) into a per-row key array with NumPy
+reductions, and :func:`batched_node_keys` / :func:`batched_output_keys`
+are the enumerator-facing glue.  The contract is exact-or-refuse, like
+the join kernels: the array keys are bit-identical to the scalar
+``key()`` path (the float operations are performed in the same order),
+and anything the arrays cannot reproduce — LEX and composite keys,
+non-real or missing weights, non-``int`` values — returns ``None`` so
+the scalar path runs unchanged.  This module is the only non-storage
+module allowed to touch raw score arrays (``tools/check_layering.py``).
 """
 
 from __future__ import annotations
@@ -39,6 +54,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..errors import RankingError
+from ..storage import kernels, scores
 
 __all__ = [
     "WeightFunction",
@@ -55,6 +71,8 @@ __all__ = [
     "LexRanking",
     "CompositeRanking",
     "Desc",
+    "batched_node_keys",
+    "batched_output_keys",
 ]
 
 Pair = tuple[str, Any]
@@ -212,6 +230,28 @@ class BoundRanking:
         """Key of a complete output tuple (used by sort-based baselines)."""
         return self.key(list(zip(variables, values)))
 
+    # ------------------------------------------------------------------ #
+    # batched (array) keys — exact-or-refuse, see module docstring
+    # ------------------------------------------------------------------ #
+    def batch_weight(self) -> "WeightFunction | None":
+        """The weight function driving the batched key path.
+
+        ``None`` declares the key algebra non-batchable (LEX, composite
+        and any user subclass that does not opt in): the enumerators
+        then compute every key through :meth:`key`, unchanged.
+        """
+        return None
+
+    def combine_score_arrays(self, arrays: Sequence[Any]):
+        """Per-row key array from per-attribute raw weight arrays.
+
+        ``arrays[j][i]`` is ``weight(attr_j, row_i[attr_j])`` as
+        ``float64``; the result's entry ``i`` must be bit-identical to
+        ``key([(attr_0, row_i[..]), ...])``.  ``None`` refuses (the
+        scalar path runs, including any error it raises).
+        """
+        return None
+
 
 class RankingFunction:
     """Base spec; :meth:`bind` produces the operational object."""
@@ -245,6 +285,9 @@ class _AggregateBound(BoundRanking):
     def _w(self, attr: str, value: Any) -> float:
         return self.sign * self.weight(attr, value)
 
+    def batch_weight(self) -> WeightFunction:
+        return self.weight
+
 
 class _SumBound(_AggregateBound):
     zero = 0.0
@@ -257,6 +300,14 @@ class _SumBound(_AggregateBound):
 
     def final_score(self, key: float) -> float:
         return self.sign * key
+
+    def combine_score_arrays(self, arrays):
+        # Mirrors key()'s ``sum()`` operation for operation — the int-0
+        # start included, so signed zeros come out bit-identical.
+        acc = 0.0 + self.sign * arrays[0]
+        for arr in arrays[1:]:
+            acc = acc + self.sign * arr
+        return acc
 
 
 class SumRanking(RankingFunction):
@@ -322,6 +373,13 @@ class _MinBound(_AggregateBound):
     def final_score(self, key: float) -> float:
         return self.sign * key
 
+    def combine_score_arrays(self, arrays):
+        acc = self.sign * arrays[0]
+        np = kernels.np
+        for arr in arrays[1:]:
+            acc = np.minimum(acc, self.sign * arr)
+        return acc
+
 
 class MinRanking(RankingFunction):
     """Rank by the minimum attribute weight (ascending)."""
@@ -355,6 +413,13 @@ class _MaxBound(_AggregateBound):
 
     def final_score(self, key: float) -> float:
         return self.sign * key
+
+    def combine_score_arrays(self, arrays):
+        acc = self.sign * arrays[0]
+        np = kernels.np
+        for arr in arrays[1:]:
+            acc = np.maximum(acc, self.sign * arr)
+        return acc
 
 
 class MaxRanking(RankingFunction):
@@ -409,6 +474,21 @@ class _ProductBound(BoundRanking):
 
     def final_score(self, key: float) -> float:
         return abs(key)
+
+    def batch_weight(self) -> WeightFunction:
+        return self.weight
+
+    def combine_score_arrays(self, arrays):
+        np = kernels.np
+        for arr in arrays:
+            # key() raises for negative weights; refuse so the scalar
+            # path raises the identical RankingError.
+            if bool((arr < 0).any()):
+                return None
+        acc = 1.0 * arrays[0]
+        for arr in arrays[1:]:
+            acc = acc * arr
+        return np.negative(acc) if self.descending else acc
 
 
 class ProductRanking(RankingFunction):
@@ -574,3 +654,99 @@ class CompositeRanking(RankingFunction):
 
     def describe(self) -> str:
         return f"{self.primary.describe()} then {self.secondary.describe()}"
+
+
+# --------------------------------------------------------------------- #
+# batched key computation: score columns -> per-row key arrays
+# --------------------------------------------------------------------- #
+def _view_score_array(instances, alias: str, rows, position: int, attr: str, weight):
+    """Weights aligned with ``instances[alias]`` via the storage cache.
+
+    Available when the instances remember their source scan view
+    (:class:`~repro.algorithms.yannakakis.AtomInstances` /
+    ``ReducedInstances``): the view-aligned score column comes out of
+    the relation's access-path cache — materialised once per store
+    version — and the reducer's survivor indices project it onto the
+    surviving rows in one gather.
+    """
+    source_of = getattr(instances, "source_of", None)
+    if source_of is None:
+        return None
+    source = source_of(alias)
+    if source is None:
+        return None
+    relation, positions, selections, distinct = source
+    view = relation.scan().scores_view(
+        positions, selections, distinct, index=position, attr=attr, weight=weight
+    )
+    if view is None:
+        return None
+    survivors = instances.survivors_of(alias)
+    arr = view.take(survivors)
+    if arr is None or len(arr) != len(rows):
+        return None
+    return arr
+
+
+def batched_node_keys(
+    bound: BoundRanking, instances, alias: str, own_pairs: Sequence[tuple[str, int]]
+) -> list | None:
+    """Rank keys of one join-tree node's rows as a plain float list.
+
+    ``own_pairs`` is the node's owned head variables with their column
+    positions in ``instances[alias]`` (the enumerator's ``_RTNode``
+    layout).  Entry ``i`` of the result is bit-identical to
+    ``bound.key([(var, rows[i][pos]) for var, pos in own_pairs])``;
+    ``None`` means "compute keys the scalar way" — non-batchable
+    rankings, non-``int`` values, weights the arrays cannot represent.
+    """
+    if not own_pairs or not scores.enabled():
+        return None
+    weight = bound.batch_weight()
+    if weight is None:
+        scores.counters.record_fallback()
+        return None
+    rows = instances[alias]
+    if not rows:
+        return None
+    arrays = []
+    for var, position in own_pairs:
+        arr = _view_score_array(instances, alias, rows, position, var, weight)
+        if arr is None:
+            arr = scores.adhoc_score_array(rows, position, var, weight)
+        if arr is None:
+            return None
+        arrays.append(arr)
+    keys = bound.combine_score_arrays(arrays)
+    if keys is None:
+        scores.counters.record_fallback()
+        return None
+    return keys.tolist()
+
+
+def batched_output_keys(
+    bound: BoundRanking, variables: Sequence[str], rows: Sequence[tuple]
+) -> list | None:
+    """Rank keys of complete output tuples as a plain float list.
+
+    The array form of :meth:`BoundRanking.key_of_output` (the star
+    structure's heavy-output sort); same exact-or-refuse contract as
+    :func:`batched_node_keys`.
+    """
+    if not variables or not rows or not scores.enabled():
+        return None
+    weight = bound.batch_weight()
+    if weight is None:
+        scores.counters.record_fallback()
+        return None
+    arrays = []
+    for position, var in enumerate(variables):
+        arr = scores.adhoc_score_array(rows, position, var, weight)
+        if arr is None:
+            return None
+        arrays.append(arr)
+    keys = bound.combine_score_arrays(arrays)
+    if keys is None:
+        scores.counters.record_fallback()
+        return None
+    return keys.tolist()

@@ -41,7 +41,7 @@ from .acyclic import AcyclicRankedEnumerator
 from .answers import EnumerationStats, RankedAnswer
 from .base import RankedEnumeratorBase
 from .heap import HeapStats, RankHeap
-from .ranking import RankingFunction, SumRanking
+from .ranking import RankingFunction, SumRanking, batched_output_keys
 
 __all__ = ["StarTradeoffEnumerator", "star_query_shape"]
 
@@ -214,8 +214,16 @@ class StarTradeoffEnumerator(RankedEnumeratorBase):
                     continue
                 self._cartesian_collect(lists, distinct)
         head = self.query.head
-        key_of = self.bound.key_of_output
-        self.heavy_output = sorted((key_of(head, t), t) for t in distinct)
+        candidates = list(distinct)
+        # Score the materialised candidates through the batched key
+        # path (one array pass per head attribute) when the ranking
+        # supports it; identical keys per tuple either way.
+        keys = batched_output_keys(self.bound, head, candidates)
+        if keys is not None:
+            self.heavy_output = sorted(zip(keys, candidates))
+        else:
+            key_of = self.bound.key_of_output
+            self.heavy_output = sorted((key_of(head, t), t) for t in candidates)
         self.stats.cells_created += len(self.heavy_output)
 
         # Subqueries Q_i with join tree T_i (R_i as root).

@@ -47,6 +47,7 @@ Examples
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from typing import Any, Iterable, Sequence
 
 from ..core.answers import RankedAnswer
@@ -58,7 +59,7 @@ from ..data.relation import Value
 from ..query.parser import parse_query
 from ..query.properties import classify_query, delay_guarantee
 from ..query.query import JoinProjectQuery, UnionQuery
-from ..storage import kernels
+from ..storage import kernels, scores
 from ..storage.encoded import EncodedDatabase
 from .lru import LRUCache
 from .prepared import PreparedPlan
@@ -82,6 +83,21 @@ class QueryEngine:
         LRU bound on prepared plans (>= 1).
     max_queries:
         LRU bound on parsed query texts (>= 1).
+    encode:
+        ``"auto"`` (default) executes over the dictionary-encoded image
+        when the data carries non-numeric keys; ``True``/``False``
+        force either mode.
+    kernel_min_rows:
+        Kernel-dispatch row floor for this engine's executions
+        (``None`` = the process default,
+        :data:`repro.storage.kernels.KERNEL_MIN_ROWS`).  ``0`` forces
+        the per-call dispatch sites (hash-index builds, standalone
+        semi-/anti-joins) through the kernels even on tiny inputs —
+        outputs are identical either way.  The override is carried by
+        the executing threads (the ``threads`` parallel backend
+        included); ``processes``-backend shard workers run in other
+        processes and keep the process default — set
+        :func:`repro.storage.kernels.set_min_rows` for those.
     """
 
     def __init__(
@@ -91,6 +107,7 @@ class QueryEngine:
         max_plans: int = 64,
         max_queries: int = 256,
         encode: bool | str = "auto",
+        kernel_min_rows: int | None = None,
     ):
         self.db = db if db is not None else Database()
         self.stats = EngineStats()
@@ -114,6 +131,11 @@ class QueryEngine:
         self._encoded: EncodedDatabase | None = None
         self._encode_broken_generation: int | None = None
         self._encode_auto: tuple[Database, int, bool] | None = None
+        # Kernel-dispatch row floor for this engine's executions; None
+        # leaves the process default (``kernels.KERNEL_MIN_ROWS``).
+        # Applied as a thread-local override around execute paths, so
+        # concurrent engines with different settings do not interfere.
+        self._kernel_min_rows = kernel_min_rows
         self.last_enumerator: RankedEnumeratorBase | None = None
 
     def _count_query_eviction(self, _key, _value) -> None:
@@ -122,18 +144,27 @@ class QueryEngine:
     def _count_plan_eviction(self, _key, _value) -> None:
         self.stats.plan_evictions += 1
 
-    def _absorb_kernel_counters(self, before: tuple[int, int]) -> None:
-        """Attribute kernel work done since ``before`` to this engine.
+    @contextmanager
+    def _instrumented(self):
+        """Scope one execution: counter attribution + threshold override.
 
-        The kernel counters are process-global (the kernels run below
-        the engine, inside the reducer and the access paths); the
-        execute paths snapshot them around each call so
-        ``stats.kernel_calls`` / ``kernel_fallbacks`` reflect this
-        session's executions.
+        Kernel and score-column work runs below the engine (in the
+        reducer, the access paths, the ranking layer); each execution
+        collects its own thread-scoped tally — worker threads of the
+        ``threads`` backend re-enter the scope — so
+        ``stats.kernel_calls`` / ``score_builds`` etc. reflect exactly
+        this engine's executions even under concurrency.
         """
-        calls, fallbacks = kernels.counters.snapshot()
-        self.stats.kernel_calls += calls - before[0]
-        self.stats.kernel_fallbacks += fallbacks - before[1]
+        with kernels.min_rows_override(self._kernel_min_rows):
+            with kernels.counters.collect() as kernel_tally:
+                with scores.counters.collect() as score_tally:
+                    try:
+                        yield
+                    finally:
+                        self.stats.kernel_calls += kernel_tally.calls
+                        self.stats.kernel_fallbacks += kernel_tally.fallbacks
+                        self.stats.score_builds += score_tally.calls
+                        self.stats.score_fallbacks += score_tally.fallbacks
 
     # ------------------------------------------------------------------ #
     # data management
@@ -396,13 +427,12 @@ class QueryEngine:
         tree construction and the full-reducer pass.
         """
         started = time.perf_counter()
-        kernels_before = kernels.counters.snapshot()
         parsed = self.parse(query)
-        enum = self.stream(
-            parsed, ranking, method=method, epsilon=epsilon, delta=delta, **kwargs
-        )
-        answers = enum.all() if k is None else enum.top_k(k)
-        self._absorb_kernel_counters(kernels_before)
+        with self._instrumented():
+            enum = self.stream(
+                parsed, ranking, method=method, epsilon=epsilon, delta=delta, **kwargs
+            )
+            answers = enum.all() if k is None else enum.top_k(k)
         # Timings are keyed by the query's structure, not its name: head
         # predicates are conventionally all called Q, which would fold
         # every query in a session into one bucket.
@@ -616,7 +646,6 @@ class QueryEngine:
         from ..parallel import DEFAULT_CHUNK_SIZE, stream_sharded
 
         started = time.perf_counter()
-        kernels_before = kernels.counters.snapshot()
         parsed = self.parse(query)
         # The cached parallel plan (of the rewritten query) is what the
         # shard workers instantiate — warm parallel executions skip
@@ -626,51 +655,51 @@ class QueryEngine:
         # partition hashing, worker joins and the order-preserving merge
         # all compare dense ints — and answers decode once after the
         # merge.
-        prepared, ctx = self._prepare_parallel(
-            parsed,
-            ranking,
-            shards=shards,
-            attribute=attribute,
-            method=method,
-            epsilon=epsilon,
-            delta=delta,
-            **kwargs,
-        )
-        if ctx is not None:
-            exec_query = ctx.encode_query(parsed)
-            exec_db = ctx.database
-            exec_ranking = ctx.wrap_ranking(ranking)
-            kwargs = self._encode_kwargs(ctx, kwargs)
-            cache_tag: Any = ("encoded", ctx.epoch)
-        else:
-            exec_query, exec_db, exec_ranking = parsed, self.db, ranking
-            cache_tag = None
-        partition = self._partition_for(
-            exec_query, shards, attribute, database=exec_db, cache_tag=cache_tag
-        )
-        answers = list(
-            stream_sharded(
-                exec_query,
-                exec_db,
-                exec_ranking,
+        with self._instrumented():
+            prepared, ctx = self._prepare_parallel(
+                parsed,
+                ranking,
                 shards=shards,
-                backend=backend,
-                k=k,
-                chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+                attribute=attribute,
                 method=method,
                 epsilon=epsilon,
                 delta=delta,
-                partition=partition,
-                plan=prepared.plan,
                 **kwargs,
             )
-        )
-        if ctx is not None:
-            answers = ctx.decode_answers(
-                answers, prepared.plan.kind, prepared.plan.ranking
+            if ctx is not None:
+                exec_query = ctx.encode_query(parsed)
+                exec_db = ctx.database
+                exec_ranking = ctx.wrap_ranking(ranking)
+                kwargs = self._encode_kwargs(ctx, kwargs)
+                cache_tag: Any = ("encoded", ctx.epoch)
+            else:
+                exec_query, exec_db, exec_ranking = parsed, self.db, ranking
+                cache_tag = None
+            partition = self._partition_for(
+                exec_query, shards, attribute, database=exec_db, cache_tag=cache_tag
             )
+            answers = list(
+                stream_sharded(
+                    exec_query,
+                    exec_db,
+                    exec_ranking,
+                    shards=shards,
+                    backend=backend,
+                    k=k,
+                    chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+                    method=method,
+                    epsilon=epsilon,
+                    delta=delta,
+                    partition=partition,
+                    plan=prepared.plan,
+                    **kwargs,
+                )
+            )
+            if ctx is not None:
+                answers = ctx.decode_answers(
+                    answers, prepared.plan.kind, prepared.plan.ranking
+                )
         self.stats.parallel_executions += 1
-        self._absorb_kernel_counters(kernels_before)
         self.stats.record_execution(repr(parsed), time.perf_counter() - started)
         return answers
 

@@ -80,12 +80,19 @@ class EngineStats:
         operations that fell back to row-at-a-time Python because the
         data was not exactly integer-representable (or a packed key
         overflowed).  Zero for both when NumPy is not installed.
-        Best-effort observability, not an audit trail: the counters are
-        process-global and incremented without locking, so with the
-        ``processes`` parallel backend shard-side kernel work (done in
-        worker processes) is not reflected at all, and concurrent
-        engines or the ``threads`` backend may attribute or lose a few
-        increments across threads.  The ``serial`` backend is exact.
+        Attribution is scoped and thread-safe: each execution collects
+        its own tally (:meth:`repro.storage.kernels.KernelCounters.collect`),
+        the ``threads`` parallel backend re-enters the scope inside its
+        worker threads, and concurrent engines never observe each
+        other's increments.  Only the ``processes`` backend's shard-side
+        kernel work (done in worker processes) goes unreported.
+    score_builds / score_fallbacks:
+        Score-column materialisations (one weight pass per distinct
+        value of a relation column — :mod:`repro.storage.scores`) and
+        batched-key attempts that fell back to per-row scalar keys
+        (LEX/composite rankings, non-``int`` values, missing or
+        non-real weights).  Same scoped attribution as the kernel
+        counters.
     executions / total_seconds / per_query:
         Execution counts and wall-clock, overall and per query name.
     """
@@ -107,6 +114,8 @@ class EngineStats:
         "encode_fallbacks",
         "kernel_calls",
         "kernel_fallbacks",
+        "score_builds",
+        "score_fallbacks",
         "executions",
         "total_seconds",
         "per_query",
@@ -133,6 +142,8 @@ class EngineStats:
         self.encode_fallbacks = 0
         self.kernel_calls = 0
         self.kernel_fallbacks = 0
+        self.score_builds = 0
+        self.score_fallbacks = 0
         self.executions = 0
         self.total_seconds = 0.0
         self.per_query: dict[str, QueryTiming] = {}
@@ -177,6 +188,8 @@ class EngineStats:
             "encode_fallbacks": self.encode_fallbacks,
             "kernel_calls": self.kernel_calls,
             "kernel_fallbacks": self.kernel_fallbacks,
+            "score_builds": self.score_builds,
+            "score_fallbacks": self.score_fallbacks,
             "per_query": {
                 name: timing.snapshot() for name, timing in self.per_query.items()
             },

@@ -52,6 +52,7 @@ from ..core.ranking import RankingFunction
 from ..data.database import Database
 from ..errors import ReproError
 from ..query.query import JoinProjectQuery, UnionQuery
+from ..storage import kernels
 
 __all__ = ["BACKENDS", "ShardJob", "ShardStreams", "open_shard_streams", "run_many"]
 
@@ -153,16 +154,24 @@ class ShardStreams:
 # --------------------------------------------------------------------- #
 # threads backend
 # --------------------------------------------------------------------- #
-def _thread_producer(job: ShardJob, out: queue_mod.Queue, chunk_size: int) -> None:
+def _thread_producer(
+    job: ShardJob, out: queue_mod.Queue, chunk_size: int, context=None
+) -> None:
     chunk: list[RankedAnswer] = []
     try:
-        for answer in _enumerate_shard(job):
-            chunk.append(answer)
-            if len(chunk) >= chunk_size:
+        # Re-enter the spawning thread's instrumentation context: the
+        # engine's counter tallies and kernel-threshold override apply
+        # to shard work done on this thread too, so per-engine stats
+        # stay exact on the threads backend even with concurrent
+        # engines.
+        with kernels.attached_context(context or kernels.capture_context()):
+            for answer in _enumerate_shard(job):
+                chunk.append(answer)
+                if len(chunk) >= chunk_size:
+                    out.put(("chunk", chunk))
+                    chunk = []
+            if chunk:
                 out.put(("chunk", chunk))
-                chunk = []
-        if chunk:
-            out.put(("chunk", chunk))
         out.put(("done", None))
     except BaseException as exc:  # propagated to the consumer
         out.put(("error", exc))
@@ -183,9 +192,10 @@ def _open_threads(jobs: Sequence[ShardJob], chunk_size: int) -> ShardStreams:
     queues = [
         queue_mod.Queue(maxsize=_QUEUE_DEPTH_PER_SHARD) for _ in jobs
     ]
+    context = kernels.capture_context()
     threads = [
         threading.Thread(
-            target=_thread_producer, args=(job, out, chunk_size), daemon=True
+            target=_thread_producer, args=(job, out, chunk_size, context), daemon=True
         )
         for job, out in zip(jobs, queues)
     ]

@@ -25,7 +25,7 @@ Three ideas live here:
   scores, ties and order are identical to plain execution.
 """
 
-from . import kernels
+from . import kernels, scores
 from .columnstore import ColumnStore
 from .dictionary import Dictionary
 from .paths import (
@@ -61,5 +61,6 @@ __all__ = [
     "ScanPath",
     "SortedViewPath",
     "kernels",
+    "scores",
     "wrap_ranking",
 ]

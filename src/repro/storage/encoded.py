@@ -80,6 +80,13 @@ class DecodingWeight(WeightFunction):
     indexing for every tuple occurrence — instead of re-hashing a fat
     key into a weight table per tuple.  Sound because weight functions
     are pure (the plan cache already relies on that).
+
+    On the batched ranking path this per-row memo hop disappears
+    entirely: the score columns of :mod:`repro.storage.scores` evaluate
+    this wrapper once per distinct code at build time (codes are dense,
+    so the column indexes directly — a decode-free weight table in code
+    space) and every per-tuple access is an array gather.  The memo
+    only serves the scalar fallback and LEX's weighted comparisons.
     """
 
     def __init__(self, base: WeightFunction, dictionary: Dictionary):

@@ -39,6 +39,9 @@ engine as ``kernel_calls`` / ``kernel_fallbacks``.
 
 from __future__ import annotations
 
+import threading
+import weakref
+from contextlib import contextmanager
 from typing import Any, Sequence
 
 try:  # pragma: no branch - one of the two arms runs per process
@@ -51,8 +54,12 @@ except ImportError:  # pragma: no cover - exercised via import stubbing
 
 __all__ = [
     "HAS_NUMPY",
+    "KERNEL_MIN_ROWS",
     "KernelCounters",
+    "Tally",
     "antijoin_mask",
+    "attached_context",
+    "capture_context",
     "codes_matrix",
     "column_array",
     "counters",
@@ -62,30 +69,62 @@ __all__ = [
     "group_indices",
     "hash_group",
     "join_indices",
+    "min_rows",
+    "min_rows_override",
     "pack_columns",
     "pack_pair",
     "semijoin_mask",
     "set_enabled",
+    "set_min_rows",
 ]
 
 Row = tuple
 
-#: Below this many total input rows the standalone ``semijoin`` /
-#: ``antijoin`` helpers stay on Python sets: per-call array conversion
-#: would cost more than it saves.  (The batched reducer path converts
-#: through store-level caches and has no such floor.)
-MIN_DISPATCH_ROWS = 512
-
-#: Hash-index construction switches to the grouping kernel at this
-#: store size; below it the single-pass dict build wins.
-MIN_GROUP_ROWS = 1024
+#: Below this many input rows the per-call dispatch sites — the
+#: standalone ``semijoin``/``antijoin`` helpers (total rows across both
+#: sides) and ``HashIndexPath`` construction (store size) — stay on the
+#: single-pass Python implementations, where per-call array conversion
+#: or kernel setup would cost more than it saves.  One process-wide
+#: default, overridable per thread through :func:`min_rows_override`
+#: (the ``QueryEngine(kernel_min_rows=...)`` option) so tests and
+#: benchmarks can force kernels onto tiny inputs.  (The batched reducer
+#: path converts through store-level caches and has no such floor.)
+KERNEL_MIN_ROWS = 1024
 
 #: Packed multi-column keys must stay well inside signed 64 bits.
 _MAX_PACKED = 1 << 62
 
+_min_rows_local = threading.local()
 
-class KernelCounters:
-    """Process-wide kernel instrumentation (snapshot-diffed per engine)."""
+
+def min_rows() -> int:
+    """The kernel-dispatch row threshold in force on this thread."""
+    override = getattr(_min_rows_local, "value", None)
+    return KERNEL_MIN_ROWS if override is None else override
+
+
+def set_min_rows(n: int) -> None:
+    """Change the process-wide default threshold (tests/benchmarks)."""
+    global KERNEL_MIN_ROWS
+    KERNEL_MIN_ROWS = int(n)
+
+
+@contextmanager
+def min_rows_override(n: int | None):
+    """Thread-local threshold override; ``None`` leaves the default."""
+    if n is None:
+        yield
+        return
+    previous = getattr(_min_rows_local, "value", None)
+    _min_rows_local.value = int(n)
+    try:
+        yield
+    finally:
+        _min_rows_local.value = previous
+
+
+class Tally:
+    """One scope's share of the counters (see :meth:`KernelCounters.collect`)."""
 
     __slots__ = ("calls", "fallbacks")
 
@@ -93,18 +132,121 @@ class KernelCounters:
         self.calls = 0
         self.fallbacks = 0
 
-    def snapshot(self) -> tuple[int, int]:
-        return (self.calls, self.fallbacks)
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tally(calls={self.calls}, fallbacks={self.fallbacks})"
 
-    def reset(self) -> None:
+
+class KernelCounters:
+    """Process-wide, thread-safe instrumentation with scoped collection.
+
+    Global totals (``calls`` / ``fallbacks``) are incremented under a
+    lock.  Attribution to one engine is done with *tally scopes*: a
+    caller enters :meth:`collect`, and every increment made on the same
+    thread (or on a worker thread that re-entered the scope via
+    :func:`attached_context` — the threads parallel backend does) is
+    added to the scope's :class:`Tally` as well.  Two engines executing
+    concurrently on different threads therefore never see each other's
+    increments — the race the old snapshot-diff accounting had.
+    """
+
+    __slots__ = ("calls", "fallbacks", "_lock", "_local", "__weakref__")
+
+    #: Every live instance (kernel + score counters); context capture
+    #: snapshots the calling thread's scopes across all of them.  Weak
+    #: references: ad-hoc counters die with their creators instead of
+    #: accumulating here forever.
+    _instances: "weakref.WeakSet[KernelCounters]" = weakref.WeakSet()
+
+    def __init__(self):
         self.calls = 0
         self.fallbacks = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        KernelCounters._instances.add(self)
+
+    def _scopes(self) -> list[Tally]:
+        scopes = getattr(self._local, "scopes", None)
+        if scopes is None:
+            scopes = self._local.scopes = []
+        return scopes
+
+    def record_call(self) -> None:
+        with self._lock:
+            self.calls += 1
+            for tally in self._scopes():
+                tally.calls += 1
+
+    def record_fallback(self) -> None:
+        with self._lock:
+            self.fallbacks += 1
+            for tally in self._scopes():
+                tally.fallbacks += 1
+
+    @contextmanager
+    def collect(self):
+        """Scope: attribute increments on this thread to a fresh tally."""
+        tally = Tally()
+        scopes = self._scopes()
+        with self._lock:
+            scopes.append(tally)
+        try:
+            yield tally
+        finally:
+            with self._lock:
+                scopes.remove(tally)
+
+    def snapshot(self) -> tuple[int, int]:
+        with self._lock:
+            return (self.calls, self.fallbacks)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.calls = 0
+            self.fallbacks = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"KernelCounters(calls={self.calls}, fallbacks={self.fallbacks})"
 
 
 counters = KernelCounters()
+
+
+def capture_context():
+    """Snapshot the calling thread's instrumentation context.
+
+    Returns an opaque token holding every active tally scope (across
+    all counter instances — kernel and score counters alike) plus the
+    thread's min-rows override.  Worker threads doing this thread's
+    work re-enter the context with :func:`attached_context`, so scoped
+    attribution and threshold overrides survive the thread hop.
+    """
+    scopes = []
+    for instance in KernelCounters._instances:
+        active = getattr(instance._local, "scopes", None)
+        if active:
+            scopes.append((instance, tuple(active)))
+    return (tuple(scopes), getattr(_min_rows_local, "value", None))
+
+
+@contextmanager
+def attached_context(token):
+    """Re-enter a :func:`capture_context` token on the current thread."""
+    scopes, override = token
+    entered: list[tuple[KernelCounters, Tally]] = []
+    for instance, tallies in scopes:
+        local = instance._scopes()
+        with instance._lock:
+            for tally in tallies:
+                local.append(tally)
+                entered.append((instance, tally))
+    try:
+        with min_rows_override(override):
+            yield
+    finally:
+        for instance, tally in entered:
+            with instance._lock:
+                instance._scopes().remove(tally)
+
 
 _enabled = True
 
@@ -266,7 +408,7 @@ def pack_pair(left_cols, right_cols):
 # ---------------------------------------------------------------------- #
 def semijoin_mask(left_keys, right_keys):
     """Boolean mask: which left keys have a partner on the right."""
-    counters.calls += 1
+    counters.record_call()
     if len(right_keys) == 0:
         return np.zeros(len(left_keys), dtype=bool)
     return np.isin(left_keys, right_keys)
@@ -274,7 +416,7 @@ def semijoin_mask(left_keys, right_keys):
 
 def antijoin_mask(left_keys, right_keys):
     """Boolean mask: which left keys have **no** partner on the right."""
-    counters.calls += 1
+    counters.record_call()
     if len(right_keys) == 0:
         return np.ones(len(left_keys), dtype=bool)
     return ~np.isin(left_keys, right_keys)
@@ -290,7 +432,7 @@ def group_indices(keys):
     returned in first-occurrence order — exactly the bucket contents
     and dict insertion order of the Python single-pass group-by.
     """
-    counters.calls += 1
+    counters.record_call()
     order = np.argsort(keys, kind="stable")
     if len(order) == 0:
         return []
@@ -314,7 +456,7 @@ def hash_group(matrix, positions: Sequence[int], rows: Sequence[Row]):
     cols = [matrix[:, i] for i in positions]
     keys = pack_columns(cols)
     if keys is None:
-        counters.fallbacks += 1
+        counters.record_fallback()
         return None
     pos = tuple(positions)
     buckets: dict[tuple, list[Row]] = {}
@@ -333,7 +475,7 @@ def join_indices(left_keys, right_keys):
     Pairs come out left-major with right matches in store order — the
     exact sequence of ``for lrow: for rrow in bucket[key]``.
     """
-    counters.calls += 1
+    counters.record_call()
     order = np.argsort(right_keys, kind="stable")
     rs = right_keys[order]
     starts = np.searchsorted(rs, left_keys, side="left")
@@ -350,7 +492,7 @@ def join_indices(left_keys, right_keys):
 
 def cross_indices(n_left: int, n_right: int):
     """Index pairs of the cartesian product, left-major."""
-    counters.calls += 1
+    counters.record_call()
     return (
         np.repeat(np.arange(n_left), n_right),
         np.tile(np.arange(n_right), n_left),
@@ -371,9 +513,9 @@ def distinct_indices(matrix):
         return np.arange(min(n, 1))
     keys = pack_columns([matrix[:, i] for i in range(width)])
     if keys is None:
-        counters.fallbacks += 1
+        counters.record_fallback()
         return None
-    counters.calls += 1
+    counters.record_call()
     _unique, first = np.unique(keys, return_index=True)
     first.sort()
     return first

@@ -23,7 +23,7 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterable, Iterator, Sequence
 
-from . import kernels
+from . import kernels, scores
 from .columnstore import ColumnStore
 
 __all__ = [
@@ -40,6 +40,19 @@ Value = Any
 #: Cache key of one select/project view: (variable positions,
 #: selection pairs, distinct flag).
 ScanKey = tuple[tuple[int, ...], tuple[tuple[int, Value], ...], bool]
+
+
+def _evict_oldest(cache: dict) -> None:
+    """Drop the oldest cache entry, tolerating concurrent evictions.
+
+    Engines sharing one database may race here (two threads both pick
+    the same victim, or the dict resizes mid-iteration); losing the
+    race must cost nothing — the caches only memoise.
+    """
+    try:
+        cache.pop(next(iter(cache)), None)
+    except (StopIteration, RuntimeError):
+        pass
 
 
 class AccessPath:
@@ -71,7 +84,7 @@ class ScanPath(AccessPath):
     [(1,), (2,), (1,)]
     """
 
-    __slots__ = ("_views", "_code_views")
+    __slots__ = ("_views", "_code_views", "_score_cols", "_int_cols")
 
     kind = "scan"
 
@@ -87,6 +100,14 @@ class ScanPath(AccessPath):
         super().__init__(store)
         self._views: dict[ScanKey, list[Row]] = {}
         self._code_views: dict[ScanKey, Any] = {}
+        # Score views, keyed (view signature, view column, attribute,
+        # id(weight fn)); each entry retains the weight object so a
+        # recycled id can never serve a stale column.
+        self._score_cols: dict[tuple, tuple[Any, Any]] = {}
+        # Per store column: is every value exactly ``int`` (no bool /
+        # IntEnum)?  The weight function must receive the same value
+        # the scalar path passes it, so anything exotic refuses.
+        self._int_cols: dict[int, bool] = {}
 
     def rows(self) -> list[Row]:
         """All rows in store order (shared cached list — do not mutate)."""
@@ -119,7 +140,7 @@ class ScanPath(AccessPath):
         view = self._views.get(key)
         if view is None:
             if len(self._views) >= self.MAX_VIEWS:
-                self._views.pop(next(iter(self._views)))
+                _evict_oldest(self._views)
             view = self._build_view(*key)
             self._views[key] = view
         return view
@@ -176,7 +197,7 @@ class ScanPath(AccessPath):
         if key in self._code_views:
             return self._code_views[key]
         if len(self._code_views) >= self.MAX_VIEWS:
-            self._code_views.pop(next(iter(self._code_views)))
+            _evict_oldest(self._code_views)
         mat = self._build_codes_view(*key)
         self._code_views[key] = mat
         return mat
@@ -215,6 +236,62 @@ class ScanPath(AccessPath):
             mat = mat[first]
         return mat
 
+    def scores_view(
+        self,
+        positions: Sequence[int],
+        selections: Sequence[tuple[int, Value]] = (),
+        distinct: bool = False,
+        *,
+        index: int,
+        attr: str,
+        weight,
+    ):
+        """Weights of one view column as a :class:`~repro.storage.scores.ScoreView`.
+
+        Aligned row-for-row with :meth:`view` / :meth:`codes_view`:
+        entry ``i`` is ``weight(attr, view_row[i][index])``, evaluated
+        once per distinct value and gathered back (see
+        :mod:`repro.storage.scores`).  Cached per (view signature,
+        column, attribute, weight function) like the other views —
+        weights are materialised once per store version and reused by
+        every execution until the next mutation.  ``None`` whenever the
+        batched path cannot reproduce the scalar one exactly (NumPy
+        absent, non-``int`` values, non-real weights).
+        """
+        if not scores.enabled():
+            return None
+        key = (
+            (tuple(positions), tuple(selections), bool(distinct)),
+            index,
+            attr,
+            id(weight),
+        )
+        cached = self._score_cols.get(key)
+        if cached is not None and cached[0] is weight:
+            return cached[1]
+        if len(self._score_cols) >= self.MAX_VIEWS:
+            _evict_oldest(self._score_cols)
+        view = self._build_scores_view(key[0], index, attr, weight)
+        self._score_cols[key] = (weight, view)
+        return view
+
+    def _build_scores_view(self, view_key: ScanKey, index: int, attr: str, weight):
+        codes = self.codes_view(*view_key)
+        if codes is None:
+            return None
+        if not self._column_exactly_int(view_key[0][index]):
+            scores.counters.record_fallback()
+            return None
+        return scores.build_score_view(codes[:, index], attr, weight)
+
+    def _column_exactly_int(self, store_position: int) -> bool:
+        known = self._int_cols.get(store_position)
+        if known is None:
+            column = self.store.column(store_position)
+            known = all(type(v) is int for v in column)
+            self._int_cols[store_position] = known
+        return known
+
 
 class HashIndexPath(AccessPath):
     """Hash buckets ``key tuple -> [rows...]`` on a column set.
@@ -236,7 +313,7 @@ class HashIndexPath(AccessPath):
         # contents and insertion order identical to the dict build.
         if (
             self.key_positions
-            and len(rows) >= kernels.MIN_GROUP_ROWS
+            and len(rows) >= kernels.min_rows()
             and kernels.enabled()
         ):
             matrix = store.codes_array()

@@ -1,0 +1,252 @@
+"""Score columns: per-value ranking weights as storage-layer arrays.
+
+The ranked enumerators spend their non-join preprocessing time turning
+tuples into rank keys — per partial answer, one
+:class:`~repro.core.ranking.WeightFunction` call per owned head
+variable, each a Python dict lookup (and, under dictionary encoding, a
+second memo hop through ``DecodingWeight``).  This module batches that
+scalar-per-row work into array operations at the storage boundary, the
+same move :mod:`repro.storage.kernels` made for the join primitives:
+
+* a :class:`ScoreColumn` materialises a weight function **once per
+  distinct value** of one integer column — under encoded execution the
+  values are dictionary codes, so the column is a decode-free weight
+  table in code space;
+* a :class:`ScoreView` is the row-aligned projection of a score column
+  onto one cached scan view (built by ``ScanPath.scores_view`` and
+  cached there per store version, exactly like the ``codes_view``
+  matrices);
+* :meth:`ScoreView.take` gathers the weights of any row subset (the
+  full reducer's survivor indices) in one indexed load.
+
+The contract is the kernel layer's **exact or refuse**: a score array
+either reproduces the scalar weight path bit-for-bit — weights are
+evaluated through the same :class:`WeightFunction` call, on values
+pre-checked to be exactly ``int`` — or the build returns ``None`` and
+the consumer stays on per-row Python keys.  A weight function that
+*raises* for some value marks that value missing instead of failing the
+build: the batch path then refuses only when a missing value is
+actually used, which is precisely when the scalar path would raise.
+
+The module-level :data:`counters` mirror the kernel counters
+(:class:`~repro.storage.kernels.KernelCounters` — thread-safe, scoped);
+:class:`~repro.engine.stats.EngineStats` surfaces them per engine as
+``score_builds`` / ``score_fallbacks``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from . import kernels
+
+__all__ = [
+    "ScoreColumn",
+    "ScoreView",
+    "build_score_view",
+    "counters",
+    "enabled",
+    "set_enabled",
+]
+
+counters = kernels.KernelCounters()
+
+_enabled = True
+
+
+def enabled() -> bool:
+    """True when NumPy is importable and score columns are switched on."""
+    return kernels.enabled() and _enabled
+
+
+def set_enabled(flag: bool) -> None:
+    """Force-disable (or re-enable) the batched scoring path.
+
+    The per-row scalar key computation is always available; benchmarks
+    and tests use this switch to compare the two paths on identical
+    inputs without disabling the join kernels.
+    """
+    global _enabled
+    _enabled = bool(flag)
+
+
+class ScoreColumn:
+    """Weights of one integer column's distinct values, as arrays.
+
+    ``domain`` holds the sorted distinct values; ``weights[i]`` is the
+    weight of ``domain[i]`` as ``float64`` (exactly the value the
+    scalar path's ``sign * weight(attr, value)`` starts from — the
+    ``int``→``float64`` conversion is the same correctly-rounded one
+    CPython performs); ``missing`` marks values the weight function
+    raised for (or returned NaN, which the batched reductions cannot
+    order identically).  When the domain is contiguous — dictionary
+    codes usually are — lookups index directly instead of binary
+    searching.
+    """
+
+    __slots__ = ("domain", "weights", "missing", "_dense_base")
+
+    def __init__(self, domain, weights, missing):
+        self.domain = domain
+        self.weights = weights
+        self.missing = missing  # bool array or None (nothing missing)
+        n = len(domain)
+        if n and int(domain[-1]) - int(domain[0]) == n - 1:
+            self._dense_base = int(domain[0])
+        else:
+            self._dense_base = None
+        if missing is not None and not missing.any():
+            self.missing = None
+
+    def __len__(self) -> int:
+        return len(self.domain)
+
+    def indices(self, values):
+        """Domain positions of ``values`` (which must be ⊆ the domain).
+
+        Contiguous domains — dictionary codes usually are — index
+        directly; sparse ones binary-search.
+        """
+        if self._dense_base is not None:
+            return values - self._dense_base
+        return kernels.np.searchsorted(self.domain, values)
+
+    def lookup(self, values):
+        """``float64`` weights aligned with ``values``, or ``None``.
+
+        ``values`` must be a subset of the domain (they are: score
+        columns are built over the same view the rows come from).
+        ``None`` when any looked-up value is missing — the caller falls
+        back to the scalar path, which raises the weight function's own
+        error on exactly that value.
+        """
+        idx = self.indices(values)
+        if self.missing is not None and self.missing[idx].any():
+            return None
+        return self.weights[idx]
+
+
+def build_score_column(values, attr: str, weight) -> ScoreColumn | None:
+    """Materialise ``weight`` over the distinct values of one column.
+
+    ``values`` is a 1-D ``int64`` array whose underlying Python values
+    the caller has pre-checked to be exactly ``int`` (no bool/IntEnum —
+    the weight function must see the same value the scalar path passes
+    it).  Returns ``None`` when any weight is not a real number; a
+    weight call that raises marks the value missing instead (see
+    :meth:`ScoreColumn.lookup`).
+    """
+    np = kernels.np
+    from ..core.ranking import IdentityWeight
+
+    if type(weight) is IdentityWeight:
+        # w(v) = v over ints: the column is its own weight table.  The
+        # scalar path would raise for non-numeric values; int columns
+        # never contain any.
+        domain = np.unique(values)
+        return ScoreColumn(domain, domain.astype(np.float64), None)
+    domain = np.unique(values)
+    weights = np.empty(len(domain), dtype=np.float64)
+    missing = np.zeros(len(domain), dtype=bool)
+    for i, code in enumerate(domain.tolist()):
+        try:
+            w = weight(attr, code)
+        except Exception:
+            # The scalar path raises here too — but only if this value
+            # is ever used.  Deferred to lookup time.
+            missing[i] = True
+            weights[i] = 0.0
+            continue
+        if isinstance(w, bool) or not isinstance(w, (int, float)):
+            return None  # non-real weights: key algebra differs, refuse
+        w = float(w)
+        if w != w:  # NaN: array min/max/sum order NaNs differently
+            missing[i] = True
+        weights[i] = w
+    return ScoreColumn(domain, weights, missing)
+
+
+class ScoreView:
+    """A score column projected row-for-row onto one scan view.
+
+    ``scores[i]`` is the raw (unsigned) weight of view row ``i``'s
+    value for one attribute; ``missing`` flags rows whose weight the
+    function could not produce.  Built and cached by
+    ``ScanPath.scores_view`` per (view signature, column, attribute,
+    weight function), invalidated with the scan path on every store
+    version bump.
+    """
+
+    __slots__ = ("scores", "missing")
+
+    def __init__(self, scores, missing):
+        self.scores = scores
+        self.missing = missing  # bool array or None
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def take(self, indices):
+        """Weights of the given view rows (``None`` indices = all rows).
+
+        Returns ``None`` when the subset touches a missing weight —
+        the scalar fallback then raises the weight function's own
+        error, on the same value, where the batch path cannot.
+        """
+        if indices is None:
+            if self.missing is not None and self.missing.any():
+                return None
+            return self.scores
+        if self.missing is not None and self.missing[indices].any():
+            return None
+        return self.scores[indices]
+
+
+def build_score_view(codes, attr: str, weight) -> ScoreView | None:
+    """Row-aligned score view of one view column, or ``None``.
+
+    ``codes`` is the column's ``int64`` array (one slice of a
+    ``codes_view`` matrix, or an ad-hoc :func:`kernels.column_array`
+    conversion); the caller guarantees the underlying values are
+    exactly ``int``.  Weights are evaluated once per distinct value and
+    broadcast back by index — the per-row work the scalar path repeats
+    per tuple collapses into one gather.
+    """
+    if not enabled():
+        return None
+    column = build_score_column(codes, attr, weight)
+    if column is None:
+        counters.record_fallback()
+        return None
+    counters.record_call()
+    idx = column.indices(codes)
+    scores = column.weights[idx]
+    missing = column.missing[idx] if column.missing is not None else None
+    return ScoreView(scores, missing)
+
+
+def adhoc_score_array(rows, position: int, attr: str, weight) -> Any | None:
+    """Raw weight array for one column of a plain row list, or ``None``.
+
+    The uncached counterpart of ``ScanPath.scores_view`` for row lists
+    that no longer know their access path (star sub-instances,
+    caller-supplied instances, Python-reduced state): pre-checks the
+    values are exactly ``int``, converts the column once and builds a
+    one-off score view over it.
+    """
+    if not enabled():
+        return None
+    if not kernels.rows_exactly_int(rows, (position,)):
+        counters.record_fallback()
+        return None
+    column = kernels.column_array([row[position] for row in rows])
+    if column is None:
+        counters.record_fallback()
+        return None
+    view = build_score_view(column, attr, weight)
+    if view is None:
+        return None
+    taken = view.take(None)
+    if taken is None:
+        counters.record_fallback()
+    return taken

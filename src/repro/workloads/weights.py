@@ -20,6 +20,7 @@ from typing import Iterable, Mapping
 
 from ..core.ranking import TableWeight
 from ..data.relation import Relation
+from ..storage import kernels
 
 __all__ = [
     "random_weights",
@@ -44,9 +45,29 @@ def random_weights(
 
 def log_degree_weights(relation: Relation, attr: str) -> dict:
     """``w(v) = log2(1 + deg(v))`` over one column of an edge relation
-    (the paper's "logarithmic" scheme)."""
+    (the paper's "logarithmic" scheme).
+
+    Integer columns count degrees through the grouping kernel
+    (:func:`repro.storage.kernels.group_indices`, the primitive behind
+    ``hash_group`` — one stable argsort over the cached code column
+    instead of a Python dict probe per row, and group *sizes* read off
+    directly without materialising buckets); keys are the original
+    column values in first-occurrence order, exactly matching the dict
+    build, and the per-distinct ``log2`` stays on :func:`math.log2`
+    either way, so the returned table is identical.  Non-integer
+    columns take the row-at-a-time loop.
+    """
+    position = relation.position(attr)
+    if kernels.enabled():
+        matrix = relation.instance_codes((position,), distinct=False)
+        if matrix is not None and len(matrix) == len(relation):
+            column = relation.scan().column(position)
+            return {
+                column[first]: math.log2(1 + len(group))
+                for first, group in kernels.group_indices(matrix[:, 0])
+            }
     degrees: dict = {}
-    for v in relation.scan().column(relation.position(attr)):
+    for v in relation.scan().column(position):
         degrees[v] = degrees.get(v, 0) + 1
     return {v: math.log2(1 + d) for v, d in degrees.items()}
 

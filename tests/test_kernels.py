@@ -357,7 +357,7 @@ class TestEngineIdentity:
 # --------------------------------------------------------------------- #
 class TestAccessPathKernels:
     def test_hash_group_matches_dict_build(self, kernels_enabled):
-        n = kernels.MIN_GROUP_ROWS + 200
+        n = kernels.KERNEL_MIN_ROWS + 200
         rows = random_rows(n, 3, 13, 17)
         db = Database()
         rel = db.add_relation("R", ("a", "b", "c"), rows)

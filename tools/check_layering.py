@@ -3,26 +3,28 @@
 
 The refactor that introduced :mod:`repro.storage` moved every physical
 storage detail — row lists, hash-index dicts, sorted-column caches —
-behind the ``AccessPath`` interface.  This gate keeps it that way: no
-module under ``src/repro`` outside ``repro/storage/`` and
-``repro/data/relation.py`` may mention
+behind the ``AccessPath`` interface.  This gate keeps it that way, as a
+set of rules ``forbidden spelling -> modules allowed to use it``:
 
-* ``.tuples``       (raw row-list access),
-* ``._indexes``     (the pre-refactor private index cache),
-* ``._sorted_cols`` (the pre-refactor private sorted-column cache),
-* ``.codes_array`` / ``.codes_view`` / ``._codes_arr``
-                    (raw code-column arrays: the kernel module,
-                    ``repro/storage/kernels.py``, is the only
-                    non-``relation.py`` consumer allowed to touch
-                    them; everything else receives arrays through
-                    ``Relation.instance_codes()`` or passes row lists
-                    to the kernel helpers).
+* ``.tuples`` / ``._indexes`` / ``._sorted_cols`` (raw row lists and
+  the pre-refactor private caches) and ``.codes_array`` /
+  ``.codes_view`` / ``._codes_arr`` (raw code-column arrays) are
+  confined to ``repro/storage/`` and ``repro/data/relation.py`` —
+  everything else receives arrays through ``Relation.instance_codes()``
+  or passes row lists to the kernel helpers;
+* ``.scores_view`` / ``._score_cols`` (raw score-column arrays, the
+  weight materialisation of ``repro/storage/scores.py``) are confined
+  to ``repro/storage/`` and ``repro/core/ranking.py`` — the ranking
+  module is the one consumer that turns score columns into key arrays
+  (``batched_node_keys`` / ``batched_output_keys``); enumerators and
+  everything above them receive plain key lists.
 
 Consumers go through ``Relation.scan()`` / ``hash_path()`` /
 ``sorted_path()`` / ``instance_rows()`` / ``instance_codes()`` (or the
-public wrappers ``index()`` / ``sorted_domain()`` built on them).
-Tests and benchmarks are intentionally out of scope — white-box
-assertions there are fine.
+public wrappers ``index()`` / ``sorted_domain()`` built on them), and
+rankings through the ``batched_*_keys`` functions.  Tests and
+benchmarks are intentionally out of scope — white-box assertions there
+are fine.
 
 Run:  python tools/check_layering.py
 
@@ -38,21 +40,33 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
 
-#: Physical-storage spellings no consumer module may contain.
-FORBIDDEN = re.compile(
-    r"\.tuples\b|\._indexes\b|\._sorted_cols\b"
-    r"|\.codes_array\b|\.codes_view\b|\._codes_arr\b"
+STORAGE = os.path.join("repro", "storage") + os.sep
+
+#: (rule name, forbidden regex, allowed prefixes/files, hint) — one
+#: entry per confinement rule.
+RULES = (
+    (
+        "raw storage access",
+        re.compile(
+            r"\.tuples\b|\._indexes\b|\._sorted_cols\b"
+            r"|\.codes_array\b|\.codes_view\b|\._codes_arr\b"
+        ),
+        (STORAGE, os.path.join("repro", "data", "relation.py")),
+        "go through the AccessPath interface (Relation.scan/hash_path/"
+        "sorted_path/instance_rows/instance_codes)",
+    ),
+    (
+        "raw score-array access",
+        re.compile(r"\.scores_view\b|\._score_cols\b"),
+        (STORAGE, os.path.join("repro", "core", "ranking.py")),
+        "go through the ranking layer (batched_node_keys/"
+        "batched_output_keys in repro.core.ranking)",
+    ),
 )
 
-#: The only places allowed to touch physical storage directly.
-ALLOWED = (
-    os.path.join("repro", "storage") + os.sep,
-    os.path.join("repro", "data", "relation.py"),
-)
 
-
-def is_allowed(relpath: str) -> bool:
-    return any(relpath.startswith(a) or relpath == a for a in ALLOWED)
+def is_allowed(relpath: str, allowed: tuple[str, ...]) -> bool:
+    return any(relpath.startswith(a) or relpath == a for a in allowed)
 
 
 def check() -> list[str]:
@@ -63,17 +77,17 @@ def check() -> list[str]:
                 continue
             path = os.path.join(dirpath, name)
             rel_to_src = os.path.relpath(path, os.path.join(REPO_ROOT, "src"))
-            if is_allowed(rel_to_src):
-                continue
             with open(path, encoding="utf-8") as fh:
-                for lineno, line in enumerate(fh, start=1):
-                    match = FORBIDDEN.search(line)
+                lines = fh.readlines()
+            for rule_name, forbidden, allowed, hint in RULES:
+                if is_allowed(rel_to_src, allowed):
+                    continue
+                for lineno, line in enumerate(lines, start=1):
+                    match = forbidden.search(line)
                     if match:
                         violations.append(
                             f"{os.path.relpath(path, REPO_ROOT)}:{lineno}: "
-                            f"raw storage access {match.group(0)!r} — go through "
-                            "the AccessPath interface (Relation.scan/hash_path/"
-                            "sorted_path/instance_rows/instance_codes)"
+                            f"{rule_name} {match.group(0)!r} — {hint}"
                         )
     return violations
 
@@ -85,8 +99,11 @@ def main() -> int:
         for v in violations:
             print(f"  {v}")
         return 1
-    print("layering ok: physical storage access confined to repro/storage "
-          "and repro/data/relation.py")
+    print(
+        "layering ok: physical storage access confined to repro/storage "
+        "and repro/data/relation.py; score arrays to repro/storage and "
+        "repro/core/ranking.py"
+    )
     return 0
 
 
