@@ -29,6 +29,17 @@ Usage (also via ``python -m repro``)::
   (default), one JSON document (for benchmarks and downstream tools),
   or an aligned human-readable table.
 
+Two subcommands front the service layer (:mod:`repro.service`)::
+
+    repro serve --data ./csvdir --port 7461
+    repro query --connect localhost:7461 "Q(x, y) :- E(x, p), E(y, p)" \\
+          --rank sum --k 100 --page 25
+
+``repro serve`` runs the asyncio ranked-query server over one shared
+session engine; ``repro query --connect`` opens a server-side cursor
+and pages through ranked answers (same output formats as local runs),
+or ``--one-shot`` for a single eager execute.
+
 All execution goes through the session engine: even one-shot queries
 are served by a :class:`~repro.engine.QueryEngine`, which is also the
 recommended library surface for repeated-query workloads.
@@ -335,8 +346,180 @@ def _repl(engine: QueryEngine, ranking, args, stream: TextIO) -> int:
     return exit_code
 
 
+# --------------------------------------------------------------------- #
+# service subcommands: ``repro serve`` / ``repro query --connect``
+# --------------------------------------------------------------------- #
+class _RemoteAnswer:
+    """Adapter giving wire answers the ``.values`` / ``.score`` shape
+    that :func:`_write_answers` (and the library) use."""
+
+    __slots__ = ("values", "score")
+
+    def __init__(self, values, score):
+        self.values = values
+        self.score = score
+
+
+def _parse_endpoint(spec: str) -> tuple[str, int]:
+    from .service import DEFAULT_PORT
+
+    host, _, port = spec.rpartition(":")
+    if not host:
+        return spec, DEFAULT_PORT
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ReproError(f"--connect expects HOST[:PORT], got {spec!r}") from None
+
+
+def _serve_main(argv: Sequence[str]) -> int:
+    """``repro serve``: run the ranked-query service over a CSV directory."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve ranked enumeration over TCP (line-delimited JSON; "
+        "see docs/service.md for the protocol).",
+    )
+    parser.add_argument("--data", required=True, help="directory of <relation>.csv files")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=None, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=4, help="concurrent engine executions"
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=256, help="admission queue bound (beyond: overloaded)"
+    )
+    parser.add_argument(
+        "--max-live-cursors", type=int, default=64,
+        help="cursors keeping live enumerator state (beyond: LRU eviction to replay)",
+    )
+    parser.add_argument(
+        "--cursor-ttl", type=float, default=300.0, help="idle cursor time-to-live, seconds"
+    )
+    args = parser.parse_args(argv)
+    from .service import DEFAULT_PORT, serve
+
+    try:
+        db = load_database_dir(args.data)
+        engine = QueryEngine(db)
+        serve(
+            engine,
+            host=args.host,
+            port=DEFAULT_PORT if args.port is None else args.port,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            max_live_cursors=args.max_live_cursors,
+            cursor_ttl=args.cursor_ttl,
+        )
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _query_main(argv: Sequence[str]) -> int:
+    """``repro query --connect``: page ranked answers from a running server."""
+    parser = argparse.ArgumentParser(
+        prog="repro query",
+        description="Run a ranked query against a repro-service server, paging "
+        "answers through a server-side cursor.",
+    )
+    parser.add_argument("query", help="Datalog-style query")
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST[:PORT]", help="server endpoint"
+    )
+    parser.add_argument("--k", type=int, default=None, help="LIMIT k")
+    parser.add_argument(
+        "--rank", choices=sorted(_RANKINGS), default=None,
+        help="ranking function (default: the server's default, SUM ascending)",
+    )
+    parser.add_argument(
+        "--desc", nargs="*", default=None, metavar="VAR",
+        help="descending attributes (LEX) / bare flag to flip aggregate order",
+    )
+    parser.add_argument("--shards", type=int, default=None, help="sharded enumeration")
+    parser.add_argument(
+        "--backend", choices=("serial", "threads"), default=None,
+        help="cursor backend used with --shards",
+    )
+    parser.add_argument(
+        "--page", type=int, default=100, metavar="N", help="answers fetched per page"
+    )
+    parser.add_argument("--tenant", default="default", help="admission-control tenant id")
+    parser.add_argument(
+        "--one-shot", action="store_true",
+        help="eager execute op instead of cursor paging",
+    )
+    parser.add_argument(
+        "--format", choices=("csv", "json", "table"), default="csv",
+        help="result output format",
+    )
+    parser.add_argument("--no-header", action="store_true", help="omit the header row")
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-request engine counters (kernel calls, score builds) to stderr",
+    )
+    args = parser.parse_args(argv)
+    from .service import connect as service_connect
+    from .service.protocol import decode_answers
+
+    if args.rank == "lex":
+        desc: object = list(args.desc or ())
+    else:
+        desc = args.desc is not None
+    try:
+        host, port = _parse_endpoint(args.connect)
+        with service_connect(host, port, tenant=args.tenant) as client:
+            if args.one_shot:
+                payload = client.request(
+                    "execute",
+                    query=args.query,
+                    k=args.k,
+                    rank=args.rank,
+                    desc=desc if args.rank else None,
+                    shards=args.shards,
+                    backend=args.backend,
+                )
+                head = payload["head"]
+                rows = decode_answers(payload["answers"])
+                if args.stats:
+                    print(f"# stats: {payload.get('stats')}", file=sys.stderr)
+            else:
+                cursor = client.query(
+                    args.query,
+                    k=args.k,
+                    rank=args.rank,
+                    desc=desc if args.rank else None,
+                    shards=args.shards,
+                    backend=args.backend,
+                )
+                head = list(cursor.head)
+                rows = []
+                for page in cursor.pages(args.page):
+                    rows.extend(page)
+                    if args.stats:
+                        print(
+                            f"# page -> position={cursor.position} "
+                            f"replays={cursor.replays} stats={cursor.last_stats}",
+                            file=sys.stderr,
+                        )
+                cursor.close()
+            answers = [_RemoteAnswer(values, score) for values, score in rows]
+            _write_answers(sys.stdout, head, answers, args)
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "query":
+        return _query_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.query is None and not args.repl:

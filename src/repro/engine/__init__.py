@@ -11,6 +11,13 @@ invalidation and :class:`EngineStats` observability.  See
 from .engine import QueryEngine
 from .lru import LRUCache
 from .prepared import PreparedPlan
-from .stats import EngineStats, QueryTiming
+from .stats import EngineStats, QueryTiming, RequestCounters
 
-__all__ = ["QueryEngine", "PreparedPlan", "EngineStats", "QueryTiming", "LRUCache"]
+__all__ = [
+    "QueryEngine",
+    "PreparedPlan",
+    "EngineStats",
+    "QueryTiming",
+    "RequestCounters",
+    "LRUCache",
+]

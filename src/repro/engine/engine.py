@@ -63,7 +63,7 @@ from ..storage import kernels, scores
 from ..storage.encoded import EncodedDatabase
 from .lru import LRUCache
 from .prepared import PreparedPlan
-from .stats import EngineStats
+from .stats import EngineStats, RequestCounters
 
 __all__ = ["QueryEngine"]
 
@@ -165,6 +165,47 @@ class QueryEngine:
                         self.stats.kernel_fallbacks += kernel_tally.fallbacks
                         self.stats.score_builds += score_tally.calls
                         self.stats.score_fallbacks += score_tally.fallbacks
+
+    @contextmanager
+    def measure(self):
+        """Scope one *request*: yields a :class:`RequestCounters` filled on exit.
+
+        The public face of the scoped-counter machinery: enter the
+        context on the thread that will run the work (the service
+        layer's executor threads do), execute through the engine inside
+        it, and read exact per-request ``kernel_calls`` /
+        ``score_builds`` / ``seconds`` afterwards.  Scopes nest — the
+        engine's own per-execution attribution keeps updating
+        :attr:`stats` — and concurrent requests on different threads
+        never observe each other's increments.  Work done by
+        ``threads``-backend shard workers spawned *inside* the scope is
+        attributed to it; ``processes``-backend shard work is not
+        (other processes).
+
+        Examples
+        --------
+        >>> from repro.data import Database
+        >>> from repro.engine import QueryEngine
+        >>> db = Database()
+        >>> _ = db.add_relation("R", ("a", "b"), [(1, 10), (2, 10)])
+        >>> engine = QueryEngine(db)
+        >>> with engine.measure() as req:
+        ...     _ = engine.execute("Q(a1, a2) :- R(a1, p), R(a2, p)", k=2)
+        >>> req.seconds > 0
+        True
+        """
+        request = RequestCounters()
+        started = time.perf_counter()
+        with kernels.counters.collect() as kernel_tally:
+            with scores.counters.collect() as score_tally:
+                try:
+                    yield request
+                finally:
+                    request.seconds = time.perf_counter() - started
+                    request.kernel_calls = kernel_tally.calls
+                    request.kernel_fallbacks = kernel_tally.fallbacks
+                    request.score_builds = score_tally.calls
+                    request.score_fallbacks = score_tally.fallbacks
 
     # ------------------------------------------------------------------ #
     # data management
@@ -702,6 +743,120 @@ class QueryEngine:
         self.stats.parallel_executions += 1
         self.stats.record_execution(repr(parsed), time.perf_counter() - started)
         return answers
+
+    def stream_parallel(
+        self,
+        query: QueryInput,
+        ranking: RankingFunction | None = None,
+        *,
+        shards: int,
+        backend: str = "threads",
+        k: int | None = None,
+        attribute: str | None = None,
+        chunk_size: int | None = None,
+        method: str = "auto",
+        epsilon: float | None = None,
+        delta: int | None = None,
+        **kwargs: Any,
+    ):
+        """A lazy sharded stream: the cursor-safe enumerator handoff.
+
+        The streaming twin of :meth:`execute_parallel`: same plan /
+        partition caches, same order-and-tie-identical answers, but the
+        merged shard stream is handed back as an iterator instead of a
+        list, so a long-lived caller (the service layer's cursors) can
+        pull pages on demand — each next page costs its share of delays,
+        never a re-run.  Shard workers stay alive while the iterator is
+        open; closing it (``.close()``) or exhausting it releases them,
+        so abandoning a stream early is safe.  With encoding active the
+        shards enumerate in code space and answers decode one by one at
+        emission.
+
+        ``shards <= 1`` degrades to the serial :meth:`stream` capped at
+        ``k``.  The ``processes`` backend works but ties worker
+        processes to the stream's lifetime — prefer ``threads`` (the
+        default here) or ``serial`` for streams held open across
+        requests.
+        """
+        from itertools import islice
+
+        if shards <= 1:
+            enum = self.stream(
+                query, ranking, method=method, epsilon=epsilon, delta=delta, **kwargs
+            )
+            stream = iter(enum)
+            return stream if k is None else islice(stream, k)
+        from ..parallel import DEFAULT_CHUNK_SIZE, stream_sharded
+
+        parsed = self.parse(query)
+        with self._instrumented():
+            prepared, ctx = self._prepare_parallel(
+                parsed,
+                ranking,
+                shards=shards,
+                attribute=attribute,
+                method=method,
+                epsilon=epsilon,
+                delta=delta,
+                **kwargs,
+            )
+            if ctx is not None:
+                exec_query = ctx.encode_query(parsed)
+                exec_db = ctx.database
+                exec_ranking = ctx.wrap_ranking(ranking)
+                kwargs = self._encode_kwargs(ctx, kwargs)
+                cache_tag: Any = ("encoded", ctx.epoch)
+            else:
+                exec_query, exec_db, exec_ranking = parsed, self.db, ranking
+                cache_tag = None
+            partition = self._partition_for(
+                exec_query, shards, attribute, database=exec_db, cache_tag=cache_tag
+            )
+            stream = stream_sharded(
+                exec_query,
+                exec_db,
+                exec_ranking,
+                shards=shards,
+                backend=backend,
+                k=k,
+                chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+                method=method,
+                epsilon=epsilon,
+                delta=delta,
+                partition=partition,
+                plan=prepared.plan,
+                **kwargs,
+            )
+        self.stats.parallel_executions += 1
+        if ctx is not None:
+            stream = self._decode_stream(stream, ctx, prepared.plan)
+        return stream
+
+    @staticmethod
+    def _decode_stream(stream, ctx: EncodedDatabase, plan):
+        """Decode an encoded answer stream lazily, one answer at a time.
+
+        The decode tables are captured eagerly — a later dictionary
+        rebuild (data mutation) cannot corrupt answers already being
+        streamed from the enumeration structures built at open time.
+        """
+        values = ctx.dictionary.values
+        decode_score = ctx.decoder(plan.kind, plan.ranking)
+
+        def generate():
+            try:
+                for a in stream:
+                    yield RankedAnswer(
+                        tuple(values[c] for c in a.values),
+                        decode_score(a.score),
+                        key=a.key,
+                    )
+            finally:
+                close = getattr(stream, "close", None)
+                if close is not None:
+                    close()
+
+        return generate()
 
     def execute_many(
         self,

@@ -7,7 +7,51 @@ harness read :meth:`EngineStats.snapshot`.
 
 from __future__ import annotations
 
-__all__ = ["EngineStats", "QueryTiming"]
+__all__ = ["EngineStats", "QueryTiming", "RequestCounters"]
+
+
+class RequestCounters:
+    """One request's share of the storage-layer work, exactly attributed.
+
+    Filled in by :meth:`repro.engine.QueryEngine.measure` — the public
+    per-request scope the service layer wraps around every query /
+    cursor-page execution.  The counters ride the thread-scoped tally
+    contexts of :mod:`repro.storage.kernels` / :mod:`repro.storage.scores`
+    (the PR-5 machinery), so two requests running concurrently on one
+    engine each see exactly their own ``kernel_calls`` / ``score_builds``
+    — never each other's.
+    """
+
+    __slots__ = (
+        "seconds",
+        "kernel_calls",
+        "kernel_fallbacks",
+        "score_builds",
+        "score_fallbacks",
+    )
+
+    def __init__(self):
+        self.seconds = 0.0
+        self.kernel_calls = 0
+        self.kernel_fallbacks = 0
+        self.score_builds = 0
+        self.score_fallbacks = 0
+
+    def snapshot(self) -> dict:
+        """A plain-dict view (what the service protocol serialises)."""
+        return {
+            "seconds": round(self.seconds, 6),
+            "kernel_calls": self.kernel_calls,
+            "kernel_fallbacks": self.kernel_fallbacks,
+            "score_builds": self.score_builds,
+            "score_fallbacks": self.score_fallbacks,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RequestCounters(seconds={self.seconds:.4f}, "
+            f"kernel_calls={self.kernel_calls}, score_builds={self.score_builds})"
+        )
 
 
 class QueryTiming:

@@ -1,0 +1,191 @@
+"""Admission control: a bounded in-flight limit with per-tenant fairness.
+
+The engine work behind every ``query`` / ``execute`` / ``fetch`` op runs
+on a thread pool; letting every connection dispatch at will would both
+oversubscribe the pool and let one chatty tenant starve everyone else's
+access to the shared plan/score/kernel caches.  :class:`FairGate`
+enforces two bounds at the asyncio layer, before any thread is touched:
+
+* at most ``limit`` requests are in flight at once;
+* when requests queue, slots are granted **round-robin across tenants**
+  — a tenant with 100 queued requests and a tenant with 1 alternate,
+  so the light tenant's p99 does not inherit the heavy tenant's queue.
+  Within one tenant, requests stay FIFO.
+
+The waiting queue itself is bounded (``max_queue``); beyond it requests
+are rejected immediately with
+:class:`~repro.service.protocol.OverloadedError` — loadshedding at the
+door beats an unbounded latency cliff.
+
+Single-event-loop discipline: every method must be called from the
+server's loop; no internal locking is needed or done.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict, deque
+from contextlib import asynccontextmanager
+
+from .protocol import OverloadedError
+
+__all__ = ["FairGate"]
+
+
+class FairGate:
+    """An asyncio semaphore with per-tenant round-robin queueing."""
+
+    def __init__(self, limit: int, *, max_queue: int = 256):
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.limit = limit
+        self.max_queue = max_queue
+        self._inflight = 0
+        self._queued = 0
+        # tenant -> FIFO of waiter futures; OrderedDict doubles as the
+        # round-robin ring (granting pops the first tenant and, if it
+        # still has waiters, re-appends it at the back).
+        self._waiters: "OrderedDict[str, deque[asyncio.Future]]" = OrderedDict()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        # Counters for the stats op.
+        self.admitted = 0
+        self.queued_total = 0
+        self.rejected = 0
+        self.peak_inflight = 0
+        self.peak_queued = 0
+
+    # ------------------------------------------------------------------ #
+    # acquire / release
+    # ------------------------------------------------------------------ #
+    async def acquire(self, tenant: str) -> None:
+        """Wait for (or immediately take) an execution slot.
+
+        Grants immediately only when a slot is free *and* nobody is
+        queued — late arrivals cannot barge past waiting tenants.
+        """
+        if self._inflight < self.limit and not self._waiters:
+            self._admit()
+            return
+        if self._queued >= self.max_queue:
+            self.rejected += 1
+            raise OverloadedError(
+                f"admission queue full ({self._queued} waiting, "
+                f"{self._inflight} in flight)"
+            )
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.setdefault(tenant, deque()).append(waiter)
+        self._queued += 1
+        self.queued_total += 1
+        self.peak_queued = max(self.peak_queued, self._queued)
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if waiter.done() and not waiter.cancelled():
+                # Granted and cancelled in the same tick: hand the slot on.
+                self.release()
+            else:
+                self._forget(tenant, waiter)
+            raise
+
+    def release(self) -> None:
+        """Return a slot and grant the next tenant in the ring."""
+        self._inflight -= 1
+        self._grant_next()
+        if self._inflight == 0 and not self._waiters:
+            self._idle.set()
+
+    @asynccontextmanager
+    async def slot(self, tenant: str):
+        """``async with gate.slot(tenant):`` — acquire/release scope."""
+        await self.acquire(tenant)
+        try:
+            yield
+        finally:
+            self.release()
+
+    # ------------------------------------------------------------------ #
+    # shutdown support
+    # ------------------------------------------------------------------ #
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Wait until nothing is in flight or queued; ``False`` on timeout."""
+        if timeout is None:
+            await self._idle.wait()
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _admit(self) -> None:
+        self._inflight += 1
+        self.admitted += 1
+        self.peak_inflight = max(self.peak_inflight, self._inflight)
+        self._idle.clear()
+
+    def _grant_next(self) -> None:
+        while self._waiters and self._inflight < self.limit:
+            tenant, queue = next(iter(self._waiters.items()))
+            self._waiters.pop(tenant)
+            granted = False
+            while queue:
+                waiter = queue.popleft()
+                self._queued -= 1
+                if not waiter.done():
+                    self._admit()
+                    waiter.set_result(None)
+                    granted = True
+                    break
+            if queue:
+                self._waiters[tenant] = queue  # back of the ring
+            if not granted:
+                continue
+
+    def _forget(self, tenant: str, waiter: asyncio.Future) -> None:
+        queue = self._waiters.get(tenant)
+        if queue is not None:
+            try:
+                queue.remove(waiter)
+                self._queued -= 1
+            except ValueError:
+                pass
+            if not queue:
+                self._waiters.pop(tenant, None)
+        if self._inflight == 0 and not self._waiters:
+            self._idle.set()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    def snapshot(self) -> dict:
+        return {
+            "limit": self.limit,
+            "max_queue": self.max_queue,
+            "inflight": self._inflight,
+            "queued": self._queued,
+            "admitted": self.admitted,
+            "queued_total": self.queued_total,
+            "rejected": self.rejected,
+            "peak_inflight": self.peak_inflight,
+            "peak_queued": self.peak_queued,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FairGate(limit={self.limit}, inflight={self._inflight}, "
+            f"queued={self._queued})"
+        )

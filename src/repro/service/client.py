@@ -1,0 +1,257 @@
+"""Blocking client for the ranked-query service.
+
+:class:`ServiceClient` speaks the line-JSON protocol over a plain TCP
+socket; :class:`RemoteCursor` mirrors the server-side cursor so paging
+code reads like iterating a local stream::
+
+    with connect("127.0.0.1", 7461) as client:
+        with client.query("q(x, y) :- r(x, y), s(y, z)", k=50) as cursor:
+            for values, score in cursor:
+                ...
+
+Answers come back as ``(values_tuple, score)`` pairs — the same shapes a
+local :meth:`~repro.engine.QueryEngine.execute` produces (tuples
+restored from JSON lists by :func:`~repro.service.protocol.tupled`), so
+remote results compare equal to local ones.
+
+The client is synchronous and thread-safe (one request/response pair at
+a time under an internal lock); for concurrent load, open one client per
+thread — connections are cheap, the server multiplexes them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Any, Iterator
+
+from .protocol import (
+    OverloadedError,
+    ServiceError,
+    StaleCursorError,
+    UnknownCursorError,
+    decode_answers,
+    dump_message,
+    parse_message,
+)
+
+__all__ = ["ServiceClient", "RemoteCursor", "connect"]
+
+#: Wire error code -> the exception class raised client-side.
+_ERROR_TYPES: dict[str, type[ServiceError]] = {
+    "unknown-cursor": UnknownCursorError,
+    "stale-cursor": StaleCursorError,
+    "overloaded": OverloadedError,
+}
+
+
+def _raise_for(error: dict) -> None:
+    code = error.get("code", "bad-request")
+    message = error.get("message", "request failed")
+    cls = _ERROR_TYPES.get(code)
+    if cls is not None:
+        raise cls(message)
+    raise ServiceError(message, code=code)
+
+
+class RemoteCursor:
+    """Client-side handle on a server cursor: page, iterate, close.
+
+    Tracks the server's view after every fetch — :attr:`position`,
+    :attr:`done`, :attr:`replays` (how often eviction forced a replay
+    rebuild) and :attr:`last_stats` (the per-request engine counters the
+    server measured for the most recent page).
+    """
+
+    def __init__(self, client: "ServiceClient", payload: dict):
+        self._client = client
+        self.cursor_id: str = payload["cursor"]
+        self.head: tuple = tuple(payload.get("head", ()))
+        self.position: int = payload.get("position", 0)
+        self.done: bool = payload.get("done", False)
+        self.replays: int = payload.get("replays", 0)
+        self.last_stats: dict | None = payload.get("stats")
+        self._closed = False
+
+    def fetch(self, n: int | None = None) -> list[tuple[tuple, Any]]:
+        """The next page: up to ``n`` ranked answers (server default if None).
+
+        Returns ``[]`` once the enumeration (or the ``k`` cap) is
+        exhausted; :attr:`done` flips accordingly.
+        """
+        if self._closed or self.done:
+            return []
+        fields: dict = {"cursor": self.cursor_id}
+        if n is not None:
+            fields["n"] = n
+        payload = self._client.request("fetch", **fields)
+        self.position = payload["position"]
+        self.done = payload["done"]
+        self.replays = payload["replays"]
+        self.last_stats = payload.get("stats")
+        return decode_answers(payload["answers"])
+
+    def pages(self, n: int | None = None) -> Iterator[list[tuple[tuple, Any]]]:
+        """Iterate page-by-page until exhausted."""
+        while not self.done and not self._closed:
+            page = self.fetch(n)
+            if page:
+                yield page
+
+    def __iter__(self) -> Iterator[tuple[tuple, Any]]:
+        for page in self.pages():
+            yield from page
+
+    def close(self) -> bool:
+        """Release the server-side cursor (idempotent)."""
+        if self._closed:
+            return False
+        self._closed = True
+        try:
+            payload = self._client.request("close", cursor=self.cursor_id)
+        except (ServiceError, OSError):
+            # Connection already gone: the server's TTL sweep will reap it.
+            return False
+        return bool(payload.get("closed"))
+
+    def __enter__(self) -> "RemoteCursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RemoteCursor({self.cursor_id!r}, position={self.position}, "
+            f"done={self.done})"
+        )
+
+
+class ServiceClient:
+    """One TCP connection to a :class:`~repro.service.server.ReproServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7461,
+        *,
+        tenant: str = "default",
+        timeout: float = 60.0,
+    ):
+        self.tenant = tenant
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def request(self, op: str, **fields: Any) -> dict:
+        """Send one op and return its payload; raises on ``"ok": false``."""
+        message = {"op": op, "id": next(self._ids), "tenant": self.tenant}
+        message.update({k: v for k, v in fields.items() if v is not None})
+        with self._lock:
+            self._sock.sendall(dump_message(message))
+            line = self._rfile.readline()
+        if not line:
+            raise ServiceError("connection closed by server", code="disconnected")
+        response = parse_message(line)
+        if not response.get("ok"):
+            _raise_for(response.get("error", {}))
+        return response
+
+    # ------------------------------------------------------------------ #
+    # ops
+    # ------------------------------------------------------------------ #
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def stats(self) -> dict:
+        """Server observability: service/admission/cursor/engine counters."""
+        return self.request("stats")
+
+    def query(
+        self,
+        query: str,
+        *,
+        k: int | None = None,
+        rank: str | None = None,
+        desc: Any = None,
+        shards: int | None = None,
+        backend: str | None = None,
+    ) -> RemoteCursor:
+        """Open a server-side cursor over a ranked enumeration.
+
+        ``rank`` names a ranking (``sum`` / ``avg`` / ``min`` / ``max`` /
+        ``product`` / ``lex``); ``desc`` is a bool for aggregates or a
+        list of attribute names for ``lex``.  ``shards``/``backend``
+        select sharded enumeration (``serial`` or ``threads``).
+        """
+        payload = self.request(
+            "query",
+            query=query,
+            k=k,
+            rank=rank,
+            desc=desc,
+            shards=shards,
+            backend=backend,
+        )
+        return RemoteCursor(self, payload)
+
+    def execute(
+        self,
+        query: str,
+        *,
+        k: int | None = None,
+        rank: str | None = None,
+        desc: Any = None,
+        shards: int | None = None,
+        backend: str | None = None,
+    ) -> list[tuple[tuple, Any]]:
+        """One-shot ranked execution (no cursor); answers materialised."""
+        payload = self.request(
+            "execute",
+            query=query,
+            k=k,
+            rank=rank,
+            desc=desc,
+            shards=shards,
+            backend=backend,
+        )
+        self.last_stats = payload.get("stats")
+        return decode_answers(payload["answers"])
+
+    #: Engine counters for the most recent :meth:`execute` response.
+    last_stats: dict | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = 7461,
+    *,
+    tenant: str = "default",
+    timeout: float = 60.0,
+) -> ServiceClient:
+    """Open a :class:`ServiceClient` (use as a context manager)."""
+    return ServiceClient(host, port, tenant=tenant, timeout=timeout)

@@ -1,0 +1,374 @@
+"""Cursor lifecycle: live enumerator state behind resumable handles.
+
+A :class:`Cursor` wraps a *live* ranked stream — the enumerator (or
+merged shard stream) handed over by
+:meth:`repro.engine.QueryEngine.stream_parallel` — plus everything
+needed to rebuild it: next-page fetches pull more answers from the open
+stream at enumeration delay cost, they never re-run the query.  That is
+the whole point of serving ranked enumeration: answers 1000–1100 cost
+~100 delays, not a third re-execution.
+
+The :class:`CursorTable` bounds what live state a server holds:
+
+* **LRU eviction** — at most ``max_live`` cursors keep their stream
+  open; opening one more releases the least-recently-used cursor's
+  stream (worker threads, queues, heap state).  The cursor *record*
+  survives with its ``(query, offset)`` replay spec: the next fetch
+  transparently rebuilds the stream and fast-forwards ``offset``
+  answers.  Enumeration is deterministic over unchanged data, so the
+  replayed tail is identical to the one the evicted stream would have
+  produced; if the database generation moved in between, replay refuses
+  with :class:`~repro.service.protocol.StaleCursorError` rather than
+  silently serving answers from a different ranked order.
+* **TTL expiry** — cursors idle longer than ``ttl`` seconds are removed
+  entirely (subsequent fetches get ``unknown-cursor``); abandoned
+  sessions cannot pin server memory forever.
+
+Everything here is plain synchronous code guarded by locks: fetches run
+on the server's executor threads, the asyncio side never touches
+cursor internals directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Iterator, Sequence
+
+from .protocol import UnknownCursorError
+
+__all__ = ["Cursor", "CursorTable"]
+
+#: ``build(skip)`` -> a ranked stream with the first ``skip`` answers
+#: already consumed.  ``skip=0`` opens the initial stream; replays pass
+#: the cursor's position.  May raise :class:`StaleCursorError`.
+StreamBuilder = Callable[[int], Iterator[Any]]
+
+
+def _close_stream(stream) -> None:
+    close = getattr(stream, "close", None)
+    if close is not None:
+        close()
+
+
+class Cursor:
+    """One client's paging position inside one ranked enumeration.
+
+    Not constructed directly — :meth:`CursorTable.open` wires the id,
+    builder and bookkeeping.  Thread-safe: a per-cursor lock serialises
+    concurrent fetches (pages stay disjoint and in rank order) and
+    fences fetch against eviction.
+    """
+
+    __slots__ = (
+        "cursor_id",
+        "tenant",
+        "head",
+        "k",
+        "generation",
+        "position",
+        "replays",
+        "created_at",
+        "last_used",
+        "exhausted",
+        "_build",
+        "_stream",
+        "_lock",
+        "_on_replay",
+    )
+
+    def __init__(
+        self,
+        cursor_id: str,
+        build: StreamBuilder,
+        *,
+        tenant: str,
+        head: Sequence[str],
+        k: int | None,
+        generation: int | None,
+        now: float,
+        on_replay: Callable[[], None] | None = None,
+    ):
+        self.cursor_id = cursor_id
+        self.tenant = tenant
+        self.head = tuple(head)
+        self.k = k
+        self.generation = generation
+        self.position = 0
+        self.replays = 0
+        self.created_at = now
+        self.last_used = now
+        self.exhausted = False
+        self._build = build
+        self._stream: Iterator[Any] | None = None
+        self._lock = threading.Lock()
+        self._on_replay = on_replay
+
+    # ------------------------------------------------------------------ #
+    # state queries
+    # ------------------------------------------------------------------ #
+    @property
+    def live(self) -> bool:
+        """Whether the cursor currently holds an open stream."""
+        return self._stream is not None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def prime(self) -> None:
+        """Open the initial stream (done at ``query`` time, not first fetch).
+
+        Preprocessing — plan binding, reduction, shard fan-out — happens
+        here, so the first page is a pure enumeration fetch like every
+        later one.
+        """
+        with self._lock:
+            if self._stream is None and not self.exhausted:
+                self._stream = self._build(0)
+
+    def fetch(self, n: int) -> tuple[list[Any], bool]:
+        """The next ``<= n`` ranked answers and whether the stream is done.
+
+        Resumes the live stream when present; on an evicted cursor the
+        replay fallback rebuilds the stream fast-forwarded to
+        :attr:`position` first.  When the cursor was opened with a ``k``
+        cap, the page is clipped so at most ``k`` answers are ever
+        emitted in total — a cap reached mid-page marks the cursor
+        exhausted in the same response.
+        """
+        with self._lock:
+            if self.exhausted or n <= 0:
+                return [], self.exhausted
+            want = n
+            if self.k is not None:
+                want = min(want, self.k - self.position)
+                if want <= 0:
+                    self._exhaust_locked()
+                    return [], True
+            if self._stream is None:
+                # Evicted (or never primed): the recorded (query, offset)
+                # replay path.
+                self._stream = self._build(self.position)
+                self.replays += 1
+                if self._on_replay is not None:
+                    self._on_replay()
+            answers = list(itertools.islice(self._stream, want))
+            self.position += len(answers)
+            if len(answers) < want or (self.k is not None and self.position >= self.k):
+                self._exhaust_locked()
+            return answers, self.exhausted
+
+    def evict(self) -> bool:
+        """Release the live stream, keeping the replayable record.
+
+        Returns whether there was live state to drop.  Fetch-safe: an
+        in-flight fetch finishes first (the lock), then the stream goes.
+        """
+        with self._lock:
+            stream, self._stream = self._stream, None
+            if stream is None:
+                return False
+            _close_stream(stream)
+            return True
+
+    def close(self) -> None:
+        """Terminal: release the stream and refuse further fetches."""
+        with self._lock:
+            self._exhaust_locked()
+
+    def _exhaust_locked(self) -> None:
+        self.exhausted = True
+        stream, self._stream = self._stream, None
+        if stream is not None:
+            _close_stream(stream)
+
+    def describe(self) -> dict:
+        """The wire-facing cursor summary (``query`` / ``fetch`` responses)."""
+        return {
+            "cursor": self.cursor_id,
+            "position": self.position,
+            "done": self.exhausted,
+            "live": self.live,
+            "replays": self.replays,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cursor({self.cursor_id!r}, position={self.position}, "
+            f"live={self.live}, done={self.exhausted})"
+        )
+
+
+class CursorTable:
+    """All of one server's cursors: id allocation, LRU bound, TTL sweep.
+
+    ``max_live`` bounds cursors *holding open streams* (the expensive
+    state); the total record count is bounded by TTL expiry.  A
+    ``clock`` injection point keeps the TTL logic testable without
+    sleeping.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_live: int = 64,
+        ttl: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_live < 1:
+            raise ValueError(f"max_live must be >= 1, got {max_live}")
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        self.max_live = max_live
+        self.ttl = ttl
+        self._clock = clock
+        self._cursors: "OrderedDict[str, Cursor]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self.opened = 0
+        self.closed = 0
+        self.expired = 0
+        self.evicted = 0
+        self.replays = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def open(
+        self,
+        build: StreamBuilder,
+        *,
+        tenant: str,
+        head: Sequence[str],
+        k: int | None = None,
+        generation: int | None = None,
+    ) -> Cursor:
+        """Register (and prime) a new cursor; may LRU-evict an old one."""
+        now = self._clock()
+        with self._lock:
+            cursor_id = f"c{next(self._ids)}-{secrets.token_hex(3)}"
+            cursor = Cursor(
+                cursor_id,
+                build,
+                tenant=tenant,
+                head=head,
+                k=k,
+                generation=generation,
+                now=now,
+                on_replay=self._count_replay,
+            )
+            self._cursors[cursor_id] = cursor
+            self.opened += 1
+            self._sweep_locked(now)
+        # Prime outside the table lock: preprocessing can be slow and
+        # must not block unrelated cursor traffic.
+        cursor.prime()
+        with self._lock:
+            self._evict_over_limit_locked(keep=cursor)
+        return cursor
+
+    def get(self, cursor_id: str) -> Cursor:
+        """Look up a cursor, bumping its LRU recency and last-used time."""
+        now = self._clock()
+        with self._lock:
+            self._sweep_locked(now)
+            cursor = self._cursors.get(cursor_id)
+            if cursor is None:
+                raise UnknownCursorError(f"unknown cursor {cursor_id!r}")
+            self._cursors.move_to_end(cursor_id)
+            cursor.last_used = now
+            return cursor
+
+    def close(self, cursor_id: str) -> bool:
+        """Close and forget a cursor; ``False`` when it was already gone.
+
+        Idempotent by design — a double close is a no-op, not an error
+        (clients and the shutdown drain may race on the same cursor).
+        """
+        with self._lock:
+            cursor = self._cursors.pop(cursor_id, None)
+        if cursor is None:
+            return False
+        cursor.close()
+        self.closed += 1
+        return True
+
+    def close_all(self) -> int:
+        """Drain every open cursor (graceful-shutdown path)."""
+        with self._lock:
+            cursors = list(self._cursors.values())
+            self._cursors.clear()
+        for cursor in cursors:
+            cursor.close()
+        self.closed += len(cursors)
+        return len(cursors)
+
+    def sweep(self) -> int:
+        """Expire idle cursors now; returns how many were dropped."""
+        with self._lock:
+            return self._sweep_locked(self._clock())
+
+    # ------------------------------------------------------------------ #
+    # internals (table lock held)
+    # ------------------------------------------------------------------ #
+    def _count_replay(self) -> None:
+        # Plain int increment under the GIL; exactness is not worth a
+        # lock on the fetch path.
+        self.replays += 1
+
+    def _sweep_locked(self, now: float) -> int:
+        expired = [
+            cursor_id
+            for cursor_id, cursor in self._cursors.items()
+            if now - cursor.last_used > self.ttl
+        ]
+        for cursor_id in expired:
+            cursor = self._cursors.pop(cursor_id)
+            cursor.close()
+        self.expired += len(expired)
+        return len(expired)
+
+    def _evict_over_limit_locked(self, keep: Cursor | None = None) -> None:
+        live = [c for c in self._cursors.values() if c.live]
+        excess = len(live) - self.max_live
+        for cursor in live:  # oldest-recency first (OrderedDict order)
+            if excess <= 0:
+                break
+            if cursor is keep and excess < len(live):
+                continue  # evict an older cursor before the brand-new one
+            if cursor.evict():
+                self.evicted += 1
+                excess -= 1
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._cursors)
+
+    @property
+    def live_count(self) -> int:
+        with self._lock:
+            return sum(1 for c in self._cursors.values() if c.live)
+
+    def snapshot(self) -> dict:
+        """Counter view for the ``stats`` op."""
+        with self._lock:
+            live = sum(1 for c in self._cursors.values() if c.live)
+            return {
+                "open": len(self._cursors),
+                "live": live,
+                "max_live": self.max_live,
+                "ttl_seconds": self.ttl,
+                "opened": self.opened,
+                "closed": self.closed,
+                "expired": self.expired,
+                "evicted": self.evicted,
+                "replays": self.replays,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CursorTable(open={len(self._cursors)}, max_live={self.max_live})"

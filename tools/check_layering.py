@@ -19,6 +19,13 @@ set of rules ``forbidden spelling -> modules allowed to use it``:
   (``batched_node_keys`` / ``batched_output_keys``); enumerators and
   everything above them receive plain key lists.
 
+* the service layer (``repro/service/``) talks only to the session
+  engine and public enumerator surfaces: importing ``repro.storage`` or
+  ``repro.data`` there is a violation — the server must never bypass
+  :class:`~repro.engine.QueryEngine` to touch storage internals, or the
+  engine's cache/generation bookkeeping silently stops being the single
+  source of truth.
+
 Consumers go through ``Relation.scan()`` / ``hash_path()`` /
 ``sorted_path()`` / ``instance_rows()`` / ``instance_codes()`` (or the
 public wrappers ``index()`` / ``sorted_domain()`` built on them), and
@@ -35,15 +42,19 @@ from __future__ import annotations
 
 import os
 import re
-import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
 
 STORAGE = os.path.join("repro", "storage") + os.sep
 
-#: (rule name, forbidden regex, allowed prefixes/files, hint) — one
-#: entry per confinement rule.
+SERVICE = os.path.join("repro", "service") + os.sep
+
+#: (rule name, forbidden regex, allowed prefixes/files, hint, scope) —
+#: one entry per confinement rule.  ``scope`` restricts which modules a
+#: rule examines: ``None`` means repo-wide (with ``allowed`` carving out
+#: the owning layer), a prefix means the rule only binds inside it
+#: (e.g. the service-isolation rule only constrains ``repro/service/``).
 RULES = (
     (
         "raw storage access",
@@ -54,6 +65,7 @@ RULES = (
         (STORAGE, os.path.join("repro", "data", "relation.py")),
         "go through the AccessPath interface (Relation.scan/hash_path/"
         "sorted_path/instance_rows/instance_codes)",
+        None,
     ),
     (
         "raw score-array access",
@@ -61,6 +73,19 @@ RULES = (
         (STORAGE, os.path.join("repro", "core", "ranking.py")),
         "go through the ranking layer (batched_node_keys/"
         "batched_output_keys in repro.core.ranking)",
+        None,
+    ),
+    (
+        "service reaching below the engine",
+        re.compile(
+            r"from\s+(?:repro|\.\.)\.?(?:storage|data)\b"
+            r"|import\s+repro\.(?:storage|data)\b"
+        ),
+        (),
+        "the service layer talks only to QueryEngine and public "
+        "enumerator APIs (repro.engine / repro.core), never to "
+        "repro.storage or repro.data internals",
+        SERVICE,
     ),
 )
 
@@ -79,7 +104,9 @@ def check() -> list[str]:
             rel_to_src = os.path.relpath(path, os.path.join(REPO_ROOT, "src"))
             with open(path, encoding="utf-8") as fh:
                 lines = fh.readlines()
-            for rule_name, forbidden, allowed, hint in RULES:
+            for rule_name, forbidden, allowed, hint, scope in RULES:
+                if scope is not None and not rel_to_src.startswith(scope):
+                    continue
                 if is_allowed(rel_to_src, allowed):
                     continue
                 for lineno, line in enumerate(lines, start=1):
@@ -102,7 +129,7 @@ def main() -> int:
     print(
         "layering ok: physical storage access confined to repro/storage "
         "and repro/data/relation.py; score arrays to repro/storage and "
-        "repro/core/ranking.py"
+        "repro/core/ranking.py; repro/service isolated from storage/data"
     )
     return 0
 
