@@ -418,6 +418,41 @@ def _serve_main(argv: Sequence[str]) -> int:
         return 2
 
 
+def _fuzz_main(argv: Sequence[str]) -> int:
+    """``repro fuzz-deltas``: shadow-check delta maintenance under writes."""
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz-deltas",
+        description="Fuzz incremental delta maintenance: drive one long-lived "
+        "engine through seeded append/delete/query schedules and shadow-check "
+        "every ranked answer against a cold rebuild (see docs/incremental.md).",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="first seed of the sweep")
+    parser.add_argument("--rounds", type=int, default=500, help="number of seeded cases")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: bounded time budget (finishes well under 30s)",
+    )
+    args = parser.parse_args(argv)
+    from .testing import fuzz
+
+    rounds = min(args.rounds, 300) if args.quick else args.rounds
+    budget = 20.0 if args.quick else None
+
+    def progress(done: int, total: int) -> None:
+        if done and done % 100 == 0:
+            print(f"# {done}/{total} cases clean", file=sys.stderr)
+
+    failure = fuzz(
+        seed=args.seed, rounds=rounds, time_budget=budget, on_progress=progress
+    )
+    if failure is not None:
+        print(failure, file=sys.stderr)
+        return 1
+    print(f"fuzz-deltas: clean (seeds {args.seed}..{args.seed + rounds - 1})")
+    return 0
+
+
 def _query_main(argv: Sequence[str]) -> int:
     """``repro query --connect``: page ranked answers from a running server."""
     parser = argparse.ArgumentParser(
@@ -520,6 +555,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "query":
         return _query_main(argv[1:])
+    if argv and argv[0] == "fuzz-deltas":
+        return _fuzz_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.query is None and not args.repl:

@@ -73,7 +73,15 @@ class Relation:
     [1, 2]
     """
 
-    __slots__ = ("name", "attrs", "generation", "_store", "_paths", "_owners")
+    __slots__ = (
+        "name",
+        "attrs",
+        "generation",
+        "_store",
+        "_paths",
+        "_owners",
+        "__weakref__",  # the store holds listeners weakly
+    )
 
     def __init__(self, name: str, attrs: Sequence[str], tuples: Iterable[Sequence[Value]] = ()):
         if not name:
@@ -112,6 +120,11 @@ class Relation:
     def _adopt_store(self, store: ColumnStore) -> None:
         self._store = store
         self._paths = AccessPathCache(store)
+        # Mutations through *any* relation sharing this store (renamed
+        # views, shard replicas) must move this relation's generation
+        # too, or engines querying through one view would keep serving
+        # warm state invalidated through the other.
+        store.register_listener(self)
 
     # ------------------------------------------------------------------ #
     # basic protocol
@@ -191,26 +204,68 @@ class Relation:
                 f"tuple {t!r} has arity {len(t)}, relation {self.name!r} expects {self.arity}"
             )
         self._store.append(t)
-        self._invalidate()
 
     def extend(self, rows: Iterable[Sequence[Value]]) -> None:
-        """Append many tuples."""
+        """Append many tuples (one generation step per row)."""
         for row in rows:
             self.add(row)
 
-    def _invalidate(self) -> None:
+    def add_rows(self, rows: Iterable[Sequence[Value]]) -> None:
+        """Append many tuples as *one* mutation (one delta, one step).
+
+        A burst appended through here stays a single entry in the store's
+        delta log, so delta-maintaining consumers replay it in one pass —
+        the write shape the incremental benchmark and write-heavy
+        services use.
+        """
+        materialised = []
+        for row in rows:
+            t = tuple(row)
+            if len(t) != self.arity:
+                raise SchemaError(
+                    f"tuple {t!r} has arity {len(t)}, relation {self.name!r} "
+                    f"expects {self.arity}"
+                )
+            materialised.append(t)
+        self._store.append_rows(materialised)
+
+    def remove(self, row: Sequence[Value]) -> int:
+        """Delete every occurrence of ``row``; returns how many were removed.
+
+        A no-op (returning 0) when the tuple is absent — callers check
+        the count when absence matters.
+        """
+        t = tuple(row)
+        if len(t) != self.arity:
+            raise SchemaError(
+                f"tuple {t!r} has arity {len(t)}, relation {self.name!r} "
+                f"expects {self.arity}"
+            )
+        indices = [i for i, r in enumerate(self._store.rows()) if r == t]
+        if indices:
+            self._store.delete_rows(indices)
+        return len(indices)
+
+    def _store_mutated(self, delta) -> None:
+        """Store mutation callback (every write lands here, once).
+
+        Fired by the column store for mutations through *any* relation
+        sharing it, so ``renamed`` replicas' generations move together.
+        ``delta`` is the :class:`~repro.storage.deltas.StoreDelta` when
+        the mutation is delta-expressible, else ``None``; owning
+        databases use that bit to keep their ``delta_generation`` counter
+        aligned with ``generation`` exactly when every step is
+        delta-maintainable.  Each weakref is dereferenced exactly once: a
+        second deref could race garbage collection.
+        """
         self.generation += 1
-        # Access paths invalidate themselves against the store version;
-        # owning databases are told directly so their combined counter
-        # stays a plain attribute read.  Each weakref is dereferenced
-        # exactly once: a second deref could race garbage collection.
         if self._owners:
             live = []
             for ref in self._owners:
                 database = ref()
                 if database is not None:
                     live.append(ref)
-                    database._relation_mutated()
+                    database._relation_mutated(delta_capable=delta is not None)
             self._owners = live
 
     def _attach(self, database) -> None:

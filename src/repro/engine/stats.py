@@ -104,6 +104,15 @@ class EngineStats:
         LRU evictions per cache.
     invalidations:
         Warm state dropped because the database generation moved.
+    delta_applies / delta_fallbacks:
+        Warm reduced instances *maintained* through store deltas after a
+        write (no rebuild paid — see
+        :func:`repro.algorithms.yannakakis.refresh_reduction`), and
+        same-database invalidations where delta maintenance was not
+        possible (history compacted, appends and deletes mixed in one
+        gap, a structural change, or a scalar reduction) so the full
+        rebuild ran instead.  Every write-triggered revalidation on an
+        unchanged database object lands in exactly one of the two.
     uncacheable:
         Prepare calls whose kwargs could not be fingerprinted (planned
         fresh, never cached).
@@ -149,6 +158,8 @@ class EngineStats:
         "plan_evictions",
         "query_evictions",
         "invalidations",
+        "delta_applies",
+        "delta_fallbacks",
         "uncacheable",
         "partition_hits",
         "partition_misses",
@@ -177,6 +188,8 @@ class EngineStats:
         self.plan_evictions = 0
         self.query_evictions = 0
         self.invalidations = 0
+        self.delta_applies = 0
+        self.delta_fallbacks = 0
         self.uncacheable = 0
         self.partition_hits = 0
         self.partition_misses = 0
@@ -223,6 +236,8 @@ class EngineStats:
             "plan_evictions": self.plan_evictions,
             "query_evictions": self.query_evictions,
             "invalidations": self.invalidations,
+            "delta_applies": self.delta_applies,
+            "delta_fallbacks": self.delta_fallbacks,
             "uncacheable": self.uncacheable,
             "partition_hits": self.partition_hits,
             "partition_misses": self.partition_misses,

@@ -13,9 +13,11 @@ image of the database) validates against, so views that *share* a store
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Iterable, Iterator, Sequence
 
 from . import kernels
+from .deltas import DeltaLog, StoreDelta
 
 __all__ = ["ColumnStore"]
 
@@ -42,7 +44,16 @@ class ColumnStore:
     (1, (3, 'z'))
     """
 
-    __slots__ = ("arity", "columns", "version", "_rows", "_row_set", "_codes_arr")
+    __slots__ = (
+        "arity",
+        "columns",
+        "version",
+        "delta_log",
+        "_listeners",
+        "_rows",
+        "_row_set",
+        "_codes_arr",
+    )
 
     def __init__(self, arity: int):
         if arity < 1:
@@ -52,6 +63,13 @@ class ColumnStore:
         self.columns: list[list[Value]] = [[] for _ in range(arity)]
         #: Bumped on every mutation; derived structures validate on it.
         self.version = 0
+        #: Bounded delta history (:mod:`repro.storage.deltas`): consumers
+        #: that remember a version replay the gap instead of rebuilding.
+        self.delta_log = DeltaLog()
+        #: Weakrefs to relations sharing this store: every mutation —
+        #: through whichever view — notifies all of them, so generation
+        #: counters stay coherent across ``Relation.renamed`` replicas.
+        self._listeners: list = []
         self._rows: list[Row] | None = None
         self._row_set: set[Row] | None = None
         self._codes_arr: Any = _UNBUILT
@@ -150,29 +168,132 @@ class ColumnStore:
         return row in self._row_set
 
     # ------------------------------------------------------------------ #
-    # mutation
+    # mutation (every write is delta-logged)
     # ------------------------------------------------------------------ #
     def append(self, row: Sequence[Value]) -> None:
         """Append one row (arity validated by the caller)."""
-        for col, value in zip(self.columns, row):
-            col.append(value)
-        self._touch()
+        self.append_rows((row,))
 
     def extend(self, rows: Iterable[Sequence[Value]]) -> None:
-        """Append many rows."""
-        appended = False
-        for row in rows:
-            for col, value in zip(self.columns, row):
-                col.append(value)
-            appended = True
-        if appended:
-            self._touch()
+        """Append many rows (one delta, one version bump)."""
+        self.append_rows(rows)
 
-    def _touch(self) -> None:
+    def append_rows(self, rows: Iterable[Sequence[Value]]) -> StoreDelta | None:
+        """Append rows, emitting one append :class:`StoreDelta`.
+
+        Returns the delta (``None`` for an empty input).  Existing row
+        indices are untouched; the cached row view and codes matrix are
+        *extended* rather than dropped — appends leave every derived
+        structure one cheap delta-apply away from fresh, which is the
+        contract :class:`~repro.storage.paths.AccessPathCache`, the
+        encoded image and the engine's warm reduced instances build on.
+        """
+        materialised = [tuple(r) for r in rows]
+        if not materialised:
+            return None
+        base_rows = len(self)
+        for i, col in enumerate(self.columns):
+            col.extend(r[i] for r in materialised)
+        self.version += 1
+        # Extend (never mutate in place) the caches consumers may hold:
+        # an old reference keeps seeing the pre-append snapshot.
+        if self._rows is not None:
+            self._rows = self._rows + materialised
+        self._row_set = None
+        cached = self._codes_arr
+        if cached is not _UNBUILT and cached is not None:
+            tail = self._codes_for(materialised)
+            self._codes_arr = (
+                kernels.np.concatenate([cached, tail]) if tail is not None else None
+            )
+        delta = StoreDelta(
+            self.version,
+            base_rows,
+            append_count=len(materialised),
+            appended=materialised,
+        )
+        self.delta_log.record(delta)
+        self._notify(delta)
+        return delta
+
+    def delete_rows(self, indices: Sequence[int]) -> StoreDelta | None:
+        """Delete the rows at the given positions, emitting a delete delta.
+
+        Columns are physically compacted — the post-delete store is
+        bit-identical to a cold build from the surviving rows, in their
+        original relative order — and the delta carries both the removed
+        positions and the removed row tuples so index-keeping consumers
+        can remap instead of rebuilding.
+        """
+        removed = sorted(set(indices))
+        if not removed:
+            return None
+        n = len(self)
+        if removed[0] < 0 or removed[-1] >= n:
+            raise IndexError(f"delete positions {removed!r} out of range for {n} rows")
+        removed_rows = tuple(self.rows()[i] for i in removed)
+        drop = set(removed)
+        base_rows = n
+        self.columns = [
+            [v for i, v in enumerate(col) if i not in drop] for col in self.columns
+        ]
         self.version += 1
         self._rows = None
         self._row_set = None
         self._codes_arr = _UNBUILT
+        delta = StoreDelta(
+            self.version, base_rows, removed=removed, removed_rows=removed_rows
+        )
+        self.delta_log.record(delta)
+        self._notify(delta)
+        return delta
+
+    def deltas_since(self, version: int) -> list[StoreDelta] | None:
+        """The deltas between ``version`` and now, or ``None`` (rebuild)."""
+        return self.delta_log.since(version)
+
+    def _codes_for(self, rows: list[Row]):
+        """The ``(len(rows), arity)`` int64 matrix of a row batch, or ``None``."""
+        if not kernels.HAS_NUMPY:
+            return None
+        cols = []
+        for i in range(self.arity):
+            arr = kernels.column_array([r[i] for r in rows])
+            if arr is None:
+                return None
+            cols.append(arr)
+        return kernels.np.stack(cols, axis=1)
+
+    def register_listener(self, relation) -> None:
+        """Register a relation for mutation callbacks (weakly held)."""
+        live = []
+        for ref in self._listeners:
+            existing = ref()
+            if existing is None or existing is relation:
+                continue
+            live.append(ref)
+        live.append(weakref.ref(relation))
+        self._listeners = live
+
+    def _notify(self, delta: StoreDelta | None) -> None:
+        if not self._listeners:
+            return
+        live = []
+        for ref in self._listeners:
+            relation = ref()
+            if relation is not None:
+                live.append(ref)
+                relation._store_mutated(delta)
+        self._listeners = live
+
+    def _touch(self) -> None:
+        """Version bump for a mutation no delta describes (cut history)."""
+        self.version += 1
+        self._rows = None
+        self._row_set = None
+        self._codes_arr = _UNBUILT
+        self.delta_log.barrier(self.version)
+        self._notify(None)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ColumnStore(arity={self.arity}, n={len(self)}, v={self.version})"
@@ -185,6 +306,8 @@ class ColumnStore:
 
     def __setstate__(self, state) -> None:
         self.arity, self.columns, self.version = state
+        self.delta_log = DeltaLog(self.version)
+        self._listeners = []
         self._rows = None
         self._row_set = None
         self._codes_arr = _UNBUILT

@@ -141,6 +141,67 @@ class Dictionary:
                     return False
         return True
 
+    # ------------------------------------------------------------------ #
+    # incremental code assignment
+    # ------------------------------------------------------------------ #
+    def extend_with(self, values: Iterable[Any]) -> int:
+        """Assign fresh codes to never-seen values, appending at the end.
+
+        No existing code moves — every structure keyed on this
+        dictionary's codes (encoded stores, score columns, warm reduced
+        instances) stays valid.  What appending *cannot* preserve is the
+        global code-order ≅ value-order isomorphism the encoded LEX keys
+        and tie-breaking rely on; callers that need it use
+        :meth:`extend_if_ordered` instead and rebuild on refusal.
+
+        Returns the number of codes added.
+        """
+        codes = self.codes
+        added = 0
+        for v in values:
+            if v not in codes:
+                codes[v] = len(self.values)
+                self.values.append(v)
+                added += 1
+        return added
+
+    def extend_if_ordered(self, values: Iterable[Any]) -> bool:
+        """Append codes for new values *only* when order is preserved.
+
+        The append keeps code order ≅ value order exactly when every new
+        value sorts strictly after every existing value (and after the
+        other new values already appended): the new codes land at the
+        end of the code space, where the order isomorphism says they
+        belong.  Typical append workloads — monotonically increasing
+        keys, log-style identifiers — qualify; anything else returns
+        ``False`` with the dictionary *unmodified*, and the caller
+        rebuilds (the pre-incremental behaviour).
+        """
+        codes = self.codes
+        fresh: list[Any] = []
+        seen: dict[Any, None] = {}
+        last = self.values[-1] if self.values else None
+        for v in values:
+            if v in codes or v in seen:
+                continue
+            if last is not None:
+                gk_last, gk_new = _group_key(last), _group_key(v)
+                if gk_new < gk_last:
+                    return False
+                if gk_new == gk_last:
+                    try:
+                        if not (last < v):
+                            return False
+                    except TypeError:
+                        return False
+            seen[v] = None
+            fresh.append(v)
+            last = v
+        for v in fresh:
+            codes[v] = len(self.values)
+            self.values.append(v)
+        return True
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Dictionary(n={len(self.values)})"
 

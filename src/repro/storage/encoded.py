@@ -43,7 +43,7 @@ from ..core.ranking import (
     WeightFunction,
 )
 from .columnstore import ColumnStore
-from .dictionary import Dictionary
+from .dictionary import MISSING, Dictionary, _group_key
 
 __all__ = [
     "DecodingEnumerator",
@@ -98,6 +98,10 @@ class DecodingWeight(WeightFunction):
         memo = self._memo.get(attr)
         if memo is None:
             memo = self._memo[attr] = [_UNSET] * len(self.dictionary.values)
+        elif code >= len(memo):
+            # The dictionary grew in place (incremental code assignment
+            # for appended values): grow the memo to match.
+            memo.extend([_UNSET] * (len(self.dictionary.values) - len(memo)))
         weight = memo[code]
         if weight is _UNSET:
             weight = memo[code] = self.base(attr, self.dictionary.values[code])
@@ -263,6 +267,7 @@ class EncodedDatabase:
         "_queries",
         "_rankings",
         "_weights",
+        "_missing_consts",
     )
 
     def __init__(self, base):
@@ -273,11 +278,19 @@ class EncodedDatabase:
         #: every per-epoch cache keys on it.
         self.epoch = 0
         self._generation: int | None = None
-        # name -> (source relation, source generation, encoded relation)
-        self._relations: dict[str, tuple[Any, int, Any]] = {}
+        # name -> (source relation, source generation, encoded relation,
+        #          source store, source store version)
+        self._relations: dict[str, tuple] = {}
         self._queries: dict[tuple, Any] = {}
         self._rankings: dict[tuple, tuple] = {}
         self._weights: dict[tuple, tuple] = {}
+        #: Raw query constants that encoded to the never-matching
+        #: sentinel this epoch.  If a write later *introduces* such a
+        #: value, the cached encoded queries (and any prepared plans
+        #: built from them) would silently keep selecting nothing, so
+        #: incremental dictionary extension refuses and the full rebuild
+        #: bumps the epoch instead.
+        self._missing_consts: set = set()
 
     # ------------------------------------------------------------------ #
     # the encoded image
@@ -289,6 +302,10 @@ class EncodedDatabase:
 
         generation = self.base.generation
         if self.database is not None and generation == self._generation:
+            return self
+
+        if self._try_incremental():
+            self._generation = generation
             return self
 
         stores = {rel.name: rel._store for rel in self.base}
@@ -305,6 +322,7 @@ class EncodedDatabase:
             self._queries.clear()
             self._rankings.clear()
             self._weights.clear()
+            self._missing_consts = set()
 
         encode_column = self.dictionary.encode_column
         database = Database()
@@ -321,11 +339,80 @@ class EncodedDatabase:
                     [encode_column(col) for col in rel._store.columns]
                 )
                 encoded = Relation._from_store(rel.name, rel.attrs, store)
-                self._relations[rel.name] = (rel, rel.generation, encoded)
+            self._relations[rel.name] = (
+                rel,
+                rel.generation,
+                encoded,
+                rel._store,
+                rel._store.version,
+            )
             database.add(encoded)
         self.database = database
         self._generation = generation
         return self
+
+    def _try_incremental(self) -> bool:
+        """Replay base-store deltas into the encoded image, in place.
+
+        Success keeps the SAME :class:`Database` object (and the same
+        encoded relation/store objects) — the identity the engine's
+        warm-state caches key on — and writes through the encoded
+        stores' mutation interface, so the encoded image emits its own
+        deltas and every downstream delta consumer (access paths, warm
+        reduced instances) can maintain rather than rebuild.  Never-seen
+        appended values get codes incrementally when they sort after the
+        whole existing code space (:meth:`Dictionary.extend_if_ordered`
+        — the append-only/monotone-key workload); anything that would
+        change existing codes, match a constant that previously encoded
+        to the missing sentinel, or fall outside the delta logs returns
+        ``False`` and the full (epoch-bumping when needed) rebuild runs.
+        """
+        if self.database is None or self.dictionary is None:
+            return False
+        base_rels = {rel.name: rel for rel in self.base}
+        if set(base_rels) != set(self._relations):
+            return False
+        codes = self.dictionary.codes
+        pending = []
+        new_values: set = set()
+        for name, entry in self._relations.items():
+            rel, cached_generation, encoded, store, version = entry
+            if base_rels[name] is not rel or rel._store is not store:
+                return False
+            if store.version == version:
+                continue
+            deltas = store.deltas_since(version)
+            if not deltas:
+                return False  # None: gap not replayable; []: impossible here
+            for delta in deltas:
+                for row in delta.appended:
+                    for value in row:
+                        if value not in codes:
+                            new_values.add(value)
+            pending.append((name, rel, encoded, store, deltas))
+        if new_values:
+            if not new_values.isdisjoint(self._missing_consts):
+                return False
+            try:
+                ordered = sorted(new_values, key=lambda v: (_group_key(v), v))
+            except TypeError:
+                return False
+            if not self.dictionary.extend_if_ordered(ordered):
+                return False
+        encode_row = self.dictionary.encode_row
+        for name, rel, encoded, store, deltas in pending:
+            encoded_store = encoded._store
+            for delta in deltas:
+                if delta.is_append:
+                    encoded_store.append_rows(
+                        [encode_row(row) for row in delta.appended]
+                    )
+                else:
+                    # Base and encoded stores stay aligned row-for-row,
+                    # so delete positions transfer verbatim.
+                    encoded_store.delete_rows(delta.removed)
+            self._relations[name] = (rel, rel.generation, encoded, store, store.version)
+        return True
 
     # ------------------------------------------------------------------ #
     # translation caches
@@ -340,13 +427,22 @@ class EncodedDatabase:
             return cached
         assert self.dictionary is not None
         encode = self.dictionary.encode
+        missing = self._missing_consts
+
+        def encode_const(term: Const) -> Const:
+            code = encode(term.value)
+            if code == MISSING:
+                # Remember the raw value: should a write introduce it
+                # later, this cached translation would be silently
+                # wrong, so incremental refresh must force a rebuild.
+                missing.add(term.value)
+            return Const(code)
 
         def encode_atom(atom: Atom) -> Atom:
             if not atom.selections:
                 return atom
             terms = tuple(
-                Const(encode(t.value)) if isinstance(t, Const) else t
-                for t in atom.terms
+                encode_const(t) if isinstance(t, Const) else t for t in atom.terms
             )
             return Atom(atom.relation, terms, alias=atom.alias)
 

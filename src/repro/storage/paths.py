@@ -292,6 +292,143 @@ class ScanPath(AccessPath):
             self._int_cols[store_position] = known
         return known
 
+    # ------------------------------------------------------------------ #
+    # delta maintenance
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, delta) -> bool:
+        """Bring the cached views up to date with one store delta.
+
+        Pure projection views (no selections, not distinct) are
+        *re-sliced*: appended store rows extend the row list, code
+        matrix and score arrays; deleted rows are dropped at their
+        mapped positions.  Views with selections or dedup state are
+        evicted and rebuilt lazily — their delta mapping needs
+        occurrence bookkeeping the cache does not keep.  Every rebind is
+        copy-on-write: consumers holding a previously returned list or
+        array keep their snapshot.
+
+        Returns ``False`` when the path cannot represent the delta (the
+        cache then drops the whole scan path, the pre-delta behaviour).
+        """
+        store = self.store
+        if delta.is_append:
+            new_rows = store.rows()[delta.base_rows :]
+            for key in list(self._views):
+                positions, selections, distinct = key
+                if selections or distinct:
+                    self._views.pop(key, None)
+                    continue
+                self._views[key] = self._views[key] + [
+                    tuple(r[i] for i in positions) for r in new_rows
+                ]
+            self._extend_code_views(delta)
+            for pos, known in list(self._int_cols.items()):
+                if known:
+                    self._int_cols[pos] = all(type(r[pos]) is int for r in new_rows)
+            self._extend_score_views(delta, new_rows)
+            return True
+        # Delete: positions of a pure projection map 1:1 onto store rows.
+        removed = set(delta.removed)
+        for key in list(self._views):
+            positions, selections, distinct = key
+            if selections or distinct:
+                self._views.pop(key, None)
+                continue
+            view = self._views[key]
+            self._views[key] = [r for i, r in enumerate(view) if i not in removed]
+        np = kernels.np if kernels.HAS_NUMPY else None
+        removed_arr = np.asarray(delta.removed, dtype=np.int64) if np else None
+        for key in list(self._code_views):
+            positions, selections, distinct = key
+            mat = self._code_views[key]
+            if selections or distinct or mat is None or np is None:
+                self._code_views.pop(key, None)
+                continue
+            self._code_views[key] = np.delete(mat, removed_arr, axis=0)
+        for skey in list(self._score_cols):
+            view_key = skey[0]
+            positions, selections, distinct = view_key
+            weight, view = self._score_cols[skey]
+            if selections or distinct or view is None or np is None:
+                self._score_cols.pop(skey, None)
+                continue
+            scores_arr = np.delete(view.scores, removed_arr)
+            missing = (
+                None
+                if view.missing is None
+                else np.delete(view.missing, removed_arr)
+            )
+            self._score_cols[skey] = (weight, scores.ScoreView(scores_arr, missing))
+        # A deletion can only remove values: exactly-int stays exactly-int
+        # (False entries stay conservatively False).
+        return True
+
+    def _extend_code_views(self, delta) -> None:
+        matrix = self.store.codes_array()
+        np = kernels.np if kernels.HAS_NUMPY else None
+        for key in list(self._code_views):
+            positions, selections, distinct = key
+            cached = self._code_views[key]
+            if selections or distinct:
+                self._code_views.pop(key, None)
+                continue
+            if cached is None:
+                continue  # "not representable" stays a valid cached answer
+            if matrix is None or np is None:
+                self._code_views.pop(key, None)
+                continue
+            tail = matrix[delta.base_rows :]
+            if positions:
+                tail = tail[:, list(positions)]
+            else:
+                tail = np.empty((len(tail), 0), dtype=np.int64)
+            self._code_views[key] = np.concatenate([cached, tail])
+
+    def _extend_score_views(self, delta, new_rows) -> None:
+        np = kernels.np if kernels.HAS_NUMPY else None
+        for skey in list(self._score_cols):
+            view_key, index, attr, _weight_id = skey
+            positions, selections, distinct = view_key
+            weight, view = self._score_cols[skey]
+            if selections or distinct:
+                self._score_cols.pop(skey, None)
+                continue
+            if view is None:
+                # "refused" stays refused only if the reason still holds;
+                # re-deriving is lazy either way.
+                self._score_cols.pop(skey, None)
+                continue
+            if np is None or not self._column_exactly_int(positions[index]):
+                self._score_cols.pop(skey, None)
+                continue
+            codes = self.codes_view(*view_key)
+            if codes is None:
+                self._score_cols.pop(skey, None)
+                continue
+            tail = scores.build_score_view(codes[len(view) :, index], attr, weight)
+            if tail is None:
+                self._score_cols.pop(skey, None)
+                continue
+            merged_scores = np.concatenate([view.scores, tail.scores])
+            if view.missing is None and tail.missing is None:
+                merged_missing = None
+            else:
+                left = (
+                    view.missing
+                    if view.missing is not None
+                    else np.zeros(len(view.scores), dtype=bool)
+                )
+                right = (
+                    tail.missing
+                    if tail.missing is not None
+                    else np.zeros(len(tail.scores), dtype=bool)
+                )
+                merged_missing = np.concatenate([left, right])
+            self._score_cols[skey] = (
+                weight,
+                scores.ScoreView(merged_scores, merged_missing),
+            )
+
 
 class HashIndexPath(AccessPath):
     """Hash buckets ``key tuple -> [rows...]`` on a column set.
@@ -346,6 +483,58 @@ class HashIndexPath(AccessPath):
     def lookup(self, key: tuple) -> list[Row]:
         """Rows matching the key (empty list if none)."""
         return self.buckets.get(key, [])
+
+    def apply_delta(self, delta) -> bool:
+        """Per-bucket maintenance: appends extend, deletes filter.
+
+        The ``buckets`` dict and every touched bucket list are rebuilt
+        copy-on-write — a consumer holding the pre-delta dict (e.g. from
+        ``Relation.index``) keeps its snapshot, exactly as it would have
+        kept the whole pre-mutation path object before.  Bucket contents
+        and ordering stay identical to a cold rebuild: appended rows
+        land at bucket tails (they are the store's newest rows), deleted
+        rows leave their buckets, and a bucket emptied by deletion loses
+        its key (``contains`` must agree with the cold build).
+        """
+        key_of = self._key_of
+        buckets = dict(self.buckets)
+        if delta.is_append:
+            rows = self.store.rows()
+            fresh: dict[tuple, list[Row]] = {}
+            for row in rows[delta.base_rows :]:
+                fresh.setdefault(key_of(row), []).append(row)
+            for key, tail in fresh.items():
+                existing = buckets.get(key)
+                buckets[key] = tail if existing is None else existing + tail
+            self.buckets = buckets
+            return True
+        doomed: dict[tuple, list[Row]] = {}
+        for row in delta.removed_rows:
+            doomed.setdefault(key_of(row), []).append(row)
+        for key, gone in doomed.items():
+            bucket = buckets.get(key)
+            if bucket is None:
+                return False  # drifted: rebuild from scratch
+            remaining = list(bucket)
+            for row in gone:
+                try:
+                    remaining.remove(row)
+                except ValueError:
+                    return False
+            if remaining:
+                buckets[key] = remaining
+            else:
+                del buckets[key]
+        self.buckets = buckets
+        return True
+
+    def _key_of(self, row: Row) -> tuple:
+        positions = self.key_positions
+        if not positions:
+            return ()
+        if len(positions) == 1:
+            return (row[positions[0]],)
+        return tuple(row[i] for i in positions)
 
     def contains(self, key: tuple) -> bool:
         """True when at least one row matches."""
@@ -405,9 +594,13 @@ class AccessPathCache:
     """Per-relation memo of access paths, validated by store version.
 
     One cache serves one :class:`~repro.data.relation.Relation`; paths
-    are keyed by kind + parameters and dropped wholesale the moment the
-    underlying store's version moves (mutations through *any* relation
-    sharing the store).
+    are keyed by kind + parameters.  When the underlying store's version
+    moves (mutations through *any* relation sharing the store), the
+    cache first asks the store's delta log for the exact gap and lets
+    each path consume the deltas in place — appends extend, deletes
+    filter; only when the history is not covered (or a path refuses a
+    delta) does it fall back to dropping the derived structures
+    wholesale, the pre-delta behaviour.
     """
 
     __slots__ = ("store", "_version", "_scan", "_hash", "_sorted")
@@ -420,10 +613,26 @@ class AccessPathCache:
         self._sorted: dict[int, SortedViewPath] = {}
 
     def _validate(self) -> None:
-        if self._version != self.store.version:
-            self._version = self.store.version
+        if self._version == self.store.version:
+            return
+        deltas = self.store.deltas_since(self._version)
+        self._version = self.store.version
+        if deltas is None:
+            # History not covered (compaction, barrier, version drift):
+            # the pre-delta wholesale invalidation, always correct.
             self._scan = None
             self._hash.clear()
+            self._sorted.clear()
+            return
+        for delta in deltas:
+            if self._scan is not None and not self._scan.apply_delta(delta):
+                self._scan = None
+            for key in list(self._hash):
+                if not self._hash[key].apply_delta(delta):
+                    del self._hash[key]
+        # Sorted views stay cheap to rebuild lazily; incremental
+        # maintenance would need per-value occurrence counts.
+        if deltas:
             self._sorted.clear()
 
     def rebind(self, store: ColumnStore) -> None:

@@ -1,0 +1,5 @@
+"""Randomized testing harnesses for the engine's mutable-data paths."""
+
+from .deltafuzz import FuzzFailure, fuzz, generate_case, run_case, shrink_case
+
+__all__ = ["FuzzFailure", "fuzz", "generate_case", "run_case", "shrink_case"]

@@ -154,26 +154,31 @@ class TestLRUEviction:
 
 
 class TestInvalidation:
-    def test_relation_add_invalidates_warm_state(self, db):
+    def test_relation_add_maintains_warm_state(self, db):
+        # A delta-expressible write no longer drops warm state: the
+        # reduced instances are maintained from the store's delta log.
         engine = QueryEngine(db)
         engine.execute(STAR)
         prepared = engine.prepare(STAR)
         assert prepared.is_warm
         db["R"].add((7, 10))
         answers = engine.execute(STAR)
-        assert engine.stats.invalidations == 1
+        assert engine.stats.invalidations == 0
+        assert engine.stats.delta_applies == 1
+        assert prepared.is_warm
         cold = enumerate_ranked(parse_query(STAR), db)
         assert [a.values for a in answers] == [a.values for a in cold]
         assert any(a.values == (7, 7) for a in answers)
 
-    def test_relation_extend_invalidates(self, db):
+    def test_relation_extend_refreshes(self, db):
         engine = QueryEngine(db)
         engine.execute(PATH)
         db["S"].extend([(2, 10), (3, 10)])
         answers = engine.execute(PATH)
         cold = enumerate_ranked(parse_query(PATH), db)
         assert [a.values for a in answers] == [a.values for a in cold]
-        assert engine.stats.invalidations == 1
+        assert engine.stats.invalidations == 0
+        assert engine.stats.delta_applies == 1
 
     def test_database_add_relation_invalidates(self, db):
         engine = QueryEngine(db)

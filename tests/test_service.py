@@ -168,6 +168,59 @@ class TestCursorTable:
         with pytest.raises(StaleCursorError):
             c1.fetch(5)
 
+    def test_write_burst_stale_cursor_vs_delta_maintained(self):
+        # The incremental contract at the cursor layer: a cursor opened
+        # before a write burst refuses with stale-cursor once it has to
+        # replay, while a cursor opened after the burst is served from
+        # the engine's delta-maintained warm state — and returns exactly
+        # what a cold rebuild would.
+        db = make_db()
+        local_engine = QueryEngine(db)
+        table = CursorTable(max_live=1)
+
+        def build_at(generation):
+            def build(skip):
+                if db.generation != generation:
+                    raise StaleCursorError("data changed")
+                stream = iter(local_engine.stream_parallel(QUERY, shards=1))
+                for _ in range(skip):
+                    next(stream, None)
+                return stream
+
+            return build
+
+        c1 = table.open(
+            build_at(db.generation),
+            tenant="t",
+            head=("a", "c"),
+            generation=db.generation,
+        )
+        c1.fetch(5)
+        burst = [(101, 3), (102, 7), (103, 3)]
+        db["r"].add_rows(burst)
+        applies_before = local_engine.stats.delta_applies
+        # Opening the post-burst cursor evicts c1 (max_live=1) and runs
+        # the query against the delta-refreshed warm state.
+        c2 = table.open(
+            build_at(db.generation),
+            tenant="t",
+            head=("a", "c"),
+            generation=db.generation,
+        )
+        assert local_engine.stats.delta_applies == applies_before + 1
+        with pytest.raises(StaleCursorError):
+            c1.fetch(5)
+        got = []
+        while True:
+            page, done = c2.fetch(40)
+            got.extend(pairs(page))
+            if done:
+                break
+        cold_db = make_db()
+        cold_db["r"].add_rows(burst)
+        cold = pairs(QueryEngine(cold_db).execute(QUERY))
+        assert got == cold
+
     def test_double_close_is_idempotent(self, engine):
         table = CursorTable()
         cursor = table.open(stream_builder(engine), tenant="t", head=("a", "c"))
@@ -369,6 +422,30 @@ class TestServer:
                 assert first + rest == local_sum
                 assert c1.replays == 1
                 c2.close()
+
+    def test_write_burst_over_the_wire_stale_code_and_delta_state(self):
+        # Same contract end to end: the client sees the stale-cursor
+        # error code on the pre-burst cursor's replay, and a fresh
+        # cursor serves the delta-maintained answers.
+        db = make_db()
+        local_engine = QueryEngine(db)
+        burst = [(101, 3), (102, 7), (103, 3)]
+        with ServerThread(local_engine, max_live_cursors=1) as handle:
+            with connect(handle.host, handle.port) as client:
+                c1 = client.query(QUERY)
+                c1.fetch(10)
+                db["r"].add_rows(burst)
+                applies_before = local_engine.stats.delta_applies
+                c2 = client.query(QUERY)  # evicts c1, delta-refreshes
+                with pytest.raises(StaleCursorError) as info:
+                    c1.fetch(10)
+                assert info.value.code == "stale-cursor"
+                got = [a for page in c2.pages(25) for a in page]
+                c2.close()
+        assert local_engine.stats.delta_applies == applies_before + 1
+        cold_db = make_db()
+        cold_db["r"].add_rows(burst)
+        assert got == pairs(QueryEngine(cold_db).execute(QUERY))
 
     def test_unknown_cursor_and_double_close(self, server):
         with connect(server.host, server.port) as client:

@@ -366,8 +366,15 @@ class TestMutationInvalidation:
         db["R"].add((1, 10))
         engine.execute(q)
         assert engine.stats.encode_builds == 1
-        # A brand-new value forces a dictionary rebuild (new code space).
+        # A value sorting after the whole code space gets a code
+        # incrementally — no rebuild, the code order stays isomorphic.
         db["R"].add((999, 10))
+        got = _pairs(engine.execute(q))
+        assert engine.stats.encode_builds == 1
+        assert got == _pairs(enumerate_ranked(parse_query(q), db))
+        # A brand-new value *inside* the existing order forces the
+        # rebuild (assigning it an end code would break code order).
+        db["R"].add((1, 15))
         got = _pairs(engine.execute(q))
         assert engine.stats.encode_builds == 2
         assert got == _pairs(enumerate_ranked(parse_query(q), db))
@@ -375,12 +382,15 @@ class TestMutationInvalidation:
     def test_direct_encoded_database_refresh_reuses_unchanged_relations(self):
         db = _int_db()
         enc = EncodedDatabase(db).refresh()
-        before = {name: triple[2] for name, triple in enc._relations.items()}
+        before = {name: entry[2] for name, entry in enc._relations.items()}
         db["R"].add((2, 20))  # existing values only
         enc.refresh()
-        after = {name: triple[2] for name, triple in enc._relations.items()}
+        after = {name: entry[2] for name, entry in enc._relations.items()}
         assert after["S"] is before["S"] and after["T"] is before["T"]
-        assert after["R"] is not before["R"]
+        # Delta maintenance keeps even the mutated relation's encoded
+        # object: its store replays the append instead of re-encoding.
+        assert after["R"] is before["R"]
+        assert len(after["R"]) == len(db["R"])
 
 
 # --------------------------------------------------------------------- #

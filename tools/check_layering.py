@@ -19,6 +19,15 @@ set of rules ``forbidden spelling -> modules allowed to use it``:
   (``batched_node_keys`` / ``batched_output_keys``); enumerators and
   everything above them receive plain key lists.
 
+* ``StoreDelta`` / ``.delta_log`` / ``.apply_delta`` / ``.deltas_since``
+  (the write-delta plumbing of ``repro/storage/deltas.py``) are
+  confined to ``repro/storage/``, ``repro/data/relation.py`` (the
+  mutation surface that forwards store notifications) and
+  ``repro/algorithms/yannakakis.py`` — the full reducer's
+  ``refresh_reduction`` is the one consumer that replays raw deltas;
+  everything else observes writes through generation counters and
+  falls back to rebuilding;
+
 * the service layer (``repro/service/``) talks only to the session
   engine and public enumerator surfaces: importing ``repro.storage`` or
   ``repro.data`` there is a violation — the server must never bypass
@@ -76,6 +85,22 @@ RULES = (
         None,
     ),
     (
+        "delta plumbing outside the storage layer",
+        re.compile(
+            r"\bStoreDelta\b|\.delta_log\b|\.apply_delta\b|\.deltas_since\b"
+        ),
+        (
+            STORAGE,
+            os.path.join("repro", "data", "relation.py"),
+            os.path.join("repro", "algorithms", "yannakakis.py"),
+        ),
+        "deltas are a storage-layer contract: consumers observe writes "
+        "through generation counters and Relation/AccessPathCache "
+        "surfaces; only the full reducer's refresh_reduction consumes "
+        "raw deltas (see docs/incremental.md)",
+        None,
+    ),
+    (
         "service reaching below the engine",
         re.compile(
             r"from\s+(?:repro|\.\.)\.?(?:storage|data)\b"
@@ -129,7 +154,8 @@ def main() -> int:
     print(
         "layering ok: physical storage access confined to repro/storage "
         "and repro/data/relation.py; score arrays to repro/storage and "
-        "repro/core/ranking.py; repro/service isolated from storage/data"
+        "repro/core/ranking.py; delta plumbing to repro/storage and the "
+        "full reducer; repro/service isolated from storage/data"
     )
     return 0
 
