@@ -58,18 +58,32 @@ TARGET_SPEEDUP = 2.5
 
 
 def run_curve(
-    scale: float, shard_counts: list[int], backend: str
+    scale: float, shard_counts: list[int], backend: str, mode: str = "pickle"
 ) -> tuple[str, dict, dict]:
     workload = make_memetracker_like(scale=scale, seed=2)
     spec = two_hop()
     ranking = workload.ranking(spec, kind="sum")
 
+    db = workload.db
+    snap_tmp = None
+    if mode == "snapshot":
+        # Process workers map the snapshot files instead of unpickling
+        # shard rows (repro.storage.persist); the curve then measures
+        # the by-reference shipping path end to end.
+        import tempfile
+
+        import repro
+
+        snap_tmp = tempfile.mkdtemp(prefix="repro-parallel-snap-")
+        db.save(os.path.join(snap_tmp, "snap"))
+        db = repro.open_database(os.path.join(snap_tmp, "snap"))
+
     started = time.perf_counter()
-    serial = enumerate_ranked(spec.query, workload.db, ranking)
+    serial = enumerate_ranked(spec.query, db, ranking)
     serial_seconds = time.perf_counter() - started
     serial_pairs = [(a.values, a.score) for a in serial]
 
-    partition = partition_query(spec.query, workload.db, max(shard_counts))
+    partition = partition_query(spec.query, db, max(shard_counts))
     rows = [
         (
             "serial",
@@ -85,7 +99,7 @@ def run_curve(
         started = time.perf_counter()
         answers = execute_sharded(
             spec.query,
-            workload.db,
+            db,
             ranking,
             shards=shards,
             backend=backend,
@@ -109,9 +123,15 @@ def run_curve(
             )
         )
 
+    if snap_tmp is not None:
+        import shutil
+
+        shutil.rmtree(snap_tmp, ignore_errors=True)
+
     table = format_table(
-        f"Parallel scaling [memetracker-like 2hop, |D|={workload.db.size}, "
-        f"|output|={len(serial)}, backend={backend}, cores={os.cpu_count()}]",
+        f"Parallel scaling [memetracker-like 2hop, |D|={db.size}, "
+        f"|output|={len(serial)}, backend={backend}, mode={mode}, "
+        f"cores={os.cpu_count()}]",
         ("run", "seconds", "speedup", "answers", "vs serial"),
         rows,
         note=f"partition: {partition.describe()}",
@@ -119,10 +139,12 @@ def run_curve(
     record = {
         "workload": "memetracker-like two-hop",
         "scale": scale,
-        "|D|": workload.db.size,
+        "|D|": db.size,
         "answers": len(serial),
         "backend": backend,
+        "mode": mode,
         "cores": os.cpu_count(),
+        "cpu_count": os.cpu_count(),
         "serial_seconds": round(serial_seconds, 6),
         "curve": [
             {
@@ -157,6 +179,13 @@ def main(argv=None) -> int:
         help="shard counts to sweep (default: 1 2 4)",
     )
     parser.add_argument(
+        "--mode",
+        choices=("pickle", "snapshot"),
+        default="pickle",
+        help="how process workers receive their shard: pickled rows "
+        "(default) or a saved snapshot reopened memory-mapped",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=None,
@@ -169,7 +198,7 @@ def main(argv=None) -> int:
     backend = args.backend or ("serial" if args.quick else "processes")
     shard_counts = args.shards or ([1, 2] if args.quick else [1, 2, 4])
 
-    table, speedups, record = run_curve(scale, shard_counts, backend)
+    table, speedups, record = run_curve(scale, shard_counts, backend, args.mode)
     print(table)
 
     os.makedirs(RESULTS_DIR, exist_ok=True)

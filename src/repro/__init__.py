@@ -48,6 +48,9 @@ Main entry points
   (:func:`repro.partition_query`), worker backends and the
   order-preserving merge behind
   :meth:`repro.QueryEngine.execute_parallel`;
+* :func:`repro.save_snapshot` / :func:`repro.open_database` — the
+  persistent column store: save an instance once, reopen it
+  memory-mapped for instant warm starts and zero-copy process shards;
 * :mod:`repro.workloads` — the paper's datasets and queries, synthesised;
 * :mod:`repro.algorithms` — Yannakakis + the engine baselines.
 """
@@ -84,6 +87,7 @@ from .data.partition import (
 )
 from .engine import EngineStats, PreparedPlan, QueryEngine
 from .parallel import execute_sharded, merge_ranked_streams, stream_sharded
+from .storage import SnapshotError, open_database, save_snapshot
 from .errors import (
     CyclicQueryError,
     DecompositionError,
@@ -114,6 +118,10 @@ __all__ = [
     # data
     "Database",
     "Relation",
+    # persistence
+    "SnapshotError",
+    "open_database",
+    "save_snapshot",
     # session layer
     "QueryEngine",
     "PreparedPlan",

@@ -155,6 +155,20 @@ class Database:
     # ------------------------------------------------------------------ #
     # convenience
     # ------------------------------------------------------------------ #
+    def save(self, path) -> str:
+        """Write this instance as an on-disk snapshot directory.
+
+        Delegates to :func:`repro.storage.persist.save_snapshot`; reopen
+        with :func:`repro.open_database` for a memory-mapped, instantly
+        warm instance.  Requires NumPy and exactly-representable values
+        (bool/int/float/str or None, finite floats) — anything else
+        raises :class:`~repro.storage.persist.SnapshotError` rather than
+        saving an approximation.
+        """
+        from ..storage.persist import save_snapshot
+
+        return save_snapshot(self, path)
+
     def copy(self) -> "Database":
         """Deep-ish copy: fresh relation objects, fresh storage."""
         db = Database()

@@ -60,6 +60,7 @@ from typing import Any, Sequence
 
 from ..errors import SchemaError
 from ..query.query import Atom, JoinProjectQuery, UnionQuery
+from ..storage import kernels
 from .database import Database
 from .relation import Relation
 
@@ -181,6 +182,7 @@ class QueryPartition:
         "shards",
         "partitioned_aliases",
         "replicated_aliases",
+        "shard_plan",
     )
 
     def __init__(
@@ -190,6 +192,7 @@ class QueryPartition:
         attribute: str | None,
         partitioned_aliases: Sequence[str],
         replicated_aliases: Sequence[str],
+        shard_plan: Sequence[tuple] = (),
     ):
         self.query = query
         self.databases = databases
@@ -197,6 +200,14 @@ class QueryPartition:
         self.shards = len(databases)
         self.partitioned_aliases = tuple(partitioned_aliases)
         self.replicated_aliases = tuple(replicated_aliases)
+        #: How each shard relation derives from the source database:
+        #: ``(shard-local name, source relation, partition column or
+        #: None)`` per atom.  Shard assignment is a pure function of
+        #: this plan (stable hashing), which is what lets the process
+        #: backend ship a shard *by reference* — a worker holding the
+        #: same source data (e.g. a mapped snapshot) re-derives its
+        #: shard instead of receiving it pickled.
+        self.shard_plan = tuple(shard_plan)
 
     def shard_sizes(self) -> list[int]:
         """``|D_s|`` per shard (replicated tuples counted per shard)."""
@@ -267,7 +278,22 @@ def _partition_rows(
     """
     buckets: list[list[tuple]] = [[] for _ in range(shards)]
     scan = rel.scan()
-    for key, row in zip(scan.column(column), scan.rows()):
+    keys = scan.column(column)
+    rows = scan.rows()
+    if kernels.enabled() and len(rows) >= kernels.min_rows():
+        # Kernel path: hash the whole key column in one array op.  Only
+        # taken when it is *exactly* the scalar assignment — integer
+        # keys map to themselves under ``_stable_hash`` and NumPy's
+        # ``%`` agrees with Python's for a positive modulus — and the
+        # helper refuses (returning ``None``) any column where it could
+        # not be (floats, strings, over-wide ints), falling back to the
+        # per-row loop below.
+        ids = kernels.shard_ids(keys, shards)
+        if ids is not None:
+            for shard, row in zip(ids, rows):
+                buckets[shard].append(row)
+            return buckets
+    for key, row in zip(keys, rows):
         buckets[_stable_hash(key) % shards].append(row)
     return buckets
 
@@ -280,6 +306,7 @@ def _shard_atom(
     shard_dbs: list[Database],
     partitioned: list[str],
     replicated: list[str],
+    shard_plan: list[tuple],
 ) -> None:
     rel = db.get(atom.relation)
     if rel is None:
@@ -292,12 +319,14 @@ def _shard_atom(
         for shard_db, rows in zip(shard_dbs, buckets):
             shard_db.add(Relation(rel_name, rel.attrs, rows))
         partitioned.append(atom.alias)
+        shard_plan.append((rel_name, atom.relation, column))
     else:
         for shard_db in shard_dbs:
             # Replicas share the parent's tuple list (copy-on-pickle for
             # the process backend, zero-copy for serial/threads).
             shard_db.add(rel.renamed(rel_name))
         replicated.append(atom.alias)
+        shard_plan.append((rel_name, atom.relation, None))
 
 
 def partition_query(
@@ -341,11 +370,21 @@ def partition_query(
     shard_dbs = [Database() for _ in range(shards)]
     partitioned: list[str] = []
     replicated: list[str] = []
+    shard_plan: list[tuple] = []
 
     rewritten = rewrite_for_sharding(query)
     for atom, new_atom in zip(_query_atoms(query), _query_atoms(rewritten)):
         _shard_atom(
-            atom, new_atom.relation, db, attribute, shard_dbs, partitioned, replicated
+            atom,
+            new_atom.relation,
+            db,
+            attribute,
+            shard_dbs,
+            partitioned,
+            replicated,
+            shard_plan,
         )
 
-    return QueryPartition(rewritten, shard_dbs, attribute, partitioned, replicated)
+    return QueryPartition(
+        rewritten, shard_dbs, attribute, partitioned, replicated, shard_plan
+    )

@@ -46,6 +46,7 @@ Examples
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
 from typing import Any, Iterable, Sequence
@@ -78,7 +79,13 @@ class QueryEngine:
     Parameters
     ----------
     db:
-        The database to serve; a fresh empty one when omitted.
+        The database to serve; a fresh empty one when omitted.  A
+        ``str``/``PathLike`` is treated as a snapshot directory
+        (:func:`repro.open_database`): the engine opens it memory-mapped
+        and starts *warm* — the dictionary and encoded image come off
+        the snapshot files, so the first query pays no encode cost, and
+        ``processes``-backend shard workers remap the same files instead
+        of receiving a pickled database.
     max_plans:
         LRU bound on prepared plans (>= 1).
     max_queries:
@@ -102,13 +109,17 @@ class QueryEngine:
 
     def __init__(
         self,
-        db: Database | None = None,
+        db: Database | str | os.PathLike | None = None,
         *,
         max_plans: int = 64,
         max_queries: int = 256,
         encode: bool | str = "auto",
         kernel_min_rows: int | None = None,
     ):
+        if isinstance(db, (str, os.PathLike)):
+            from ..storage.persist import open_database
+
+            db = open_database(db)
         self.db = db if db is not None else Database()
         self.stats = EngineStats()
         self._queries: LRUCache = LRUCache(
@@ -137,6 +148,18 @@ class QueryEngine:
         # concurrent engines with different settings do not interfere.
         self._kernel_min_rows = kernel_min_rows
         self.last_enumerator: RankedEnumeratorBase | None = None
+        # Snapshot-backed sessions (``QueryEngine(path)`` or a database
+        # from ``repro.open_database``) start warm: the encoded image is
+        # pre-seeded straight off the mapped snapshot files, so the
+        # first execution skips dictionary construction and the full
+        # re-encode pass entirely.
+        from ..storage.persist import snapshot_handle
+
+        self._snapshot = None if db is None else snapshot_handle(self.db)
+        if self._snapshot is not None:
+            self.stats.snapshot_opens += 1
+            if self._encode is not False:
+                self._encoded = self._snapshot.encoded_database(self.db)
 
     def _count_query_eviction(self, _key, _value) -> None:
         self.stats.query_evictions += 1
@@ -165,6 +188,10 @@ class QueryEngine:
                         self.stats.kernel_fallbacks += kernel_tally.fallbacks
                         self.stats.score_builds += score_tally.calls
                         self.stats.score_fallbacks += score_tally.fallbacks
+                        if self._snapshot is not None:
+                            self.stats.snapshot_cow_detaches = (
+                                self._snapshot.cow_detaches
+                            )
 
     @contextmanager
     def measure(self):
@@ -370,7 +397,10 @@ class QueryEngine:
         if generation == self._encode_broken_generation:
             self.stats.encode_fallbacks += 1
             return None
-        if self._encode == "auto":
+        if self._encode == "auto" and self._snapshot is None:
+            # (Snapshot-backed sessions skip the profitability probe:
+            # their encoded image is pre-built on disk, so encoding is
+            # free, and the probe itself would page in every column.)
             cached = self._encode_auto
             if cached is None or cached[0] is not self.db or cached[1] != generation:
                 from ..storage.encoded import profits_from_encoding
@@ -382,8 +412,13 @@ class QueryEngine:
         if self._encoded is None or self._encoded.base is not self.db:
             # First use, or the session database object was swapped out
             # (equal generations on different databases say nothing
-            # about equal contents).
-            self._encoded = EncodedDatabase(self.db)
+            # about equal contents).  Snapshot sessions re-seed from the
+            # mapped files (safe after ``invalidate()``: the image's
+            # watermark starts unset, so post-open writes reconcile).
+            if self._snapshot is not None:
+                self._encoded = self._snapshot.encoded_database(self.db)
+            else:
+                self._encoded = EncodedDatabase(self.db)
         epoch_before = self._encoded.epoch
         had_image = self._encoded.database is not None
         try:

@@ -146,6 +146,13 @@ class EngineStats:
         (LEX/composite rankings, non-``int`` values, missing or
         non-real weights).  Same scoped attribution as the kernel
         counters.
+    snapshot_opens / snapshot_cow_detaches:
+        Persistent-store observability: engines constructed over an
+        on-disk snapshot (``QueryEngine(path)``) count one open, and
+        ``snapshot_cow_detaches`` tracks how many mapped stores have
+        copy-on-write detached into RAM because something mutated them
+        — a served snapshot should keep this at zero; a climbing value
+        means writes are silently paying materialisation cost.
     executions / total_seconds / per_query:
         Execution counts and wall-clock, overall and per query name.
     """
@@ -171,6 +178,8 @@ class EngineStats:
         "kernel_fallbacks",
         "score_builds",
         "score_fallbacks",
+        "snapshot_opens",
+        "snapshot_cow_detaches",
         "executions",
         "total_seconds",
         "per_query",
@@ -201,6 +210,8 @@ class EngineStats:
         self.kernel_fallbacks = 0
         self.score_builds = 0
         self.score_fallbacks = 0
+        self.snapshot_opens = 0
+        self.snapshot_cow_detaches = 0
         self.executions = 0
         self.total_seconds = 0.0
         self.per_query: dict[str, QueryTiming] = {}
@@ -249,6 +260,8 @@ class EngineStats:
             "kernel_fallbacks": self.kernel_fallbacks,
             "score_builds": self.score_builds,
             "score_fallbacks": self.score_fallbacks,
+            "snapshot_opens": self.snapshot_opens,
+            "snapshot_cow_detaches": self.snapshot_cow_detaches,
             "per_query": {
                 name: timing.snapshot() for name, timing in self.per_query.items()
             },

@@ -76,7 +76,18 @@ class ShardJob:
     tests driving the backends directly).
     """
 
-    __slots__ = ("query", "db", "ranking", "method", "epsilon", "delta", "kwargs", "limit", "plan")
+    __slots__ = (
+        "query",
+        "db",
+        "ranking",
+        "method",
+        "epsilon",
+        "delta",
+        "kwargs",
+        "limit",
+        "plan",
+        "snapshot_ref",
+    )
 
     def __init__(
         self,
@@ -90,6 +101,7 @@ class ShardJob:
         kwargs: dict[str, Any] | None = None,
         limit: int | None = None,
         plan=None,
+        snapshot_ref=None,
     ):
         self.query = query
         self.db = db
@@ -100,13 +112,33 @@ class ShardJob:
         self.kwargs = dict(kwargs or {})
         self.limit = limit
         self.plan = plan
+        self.snapshot_ref = snapshot_ref
+
+    def __getstate__(self) -> dict:
+        state = {name: getattr(self, name) for name in self.__slots__}
+        if self.snapshot_ref is not None:
+            # The shard database is derivable from the on-disk snapshot:
+            # ship the tiny SnapshotShardRef instead and let the worker
+            # memory-map the same files rather than unpickle every row.
+            state["db"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.db is None:
+            return f"ShardJob({self.query.name!r}, snapshot shard, limit={self.limit})"
         return f"ShardJob({self.query.name!r}, |D_s|={self.db.size}, limit={self.limit})"
 
 
 def _enumerate_shard(job: ShardJob) -> Iterator[RankedAnswer]:
     """Run one shard in the current process (all backends)."""
+    if job.db is None and job.snapshot_ref is not None:
+        # Snapshot-shipped job: rebuild the shard database by mapping
+        # the snapshot files (zero-copy, shared pages across workers).
+        job.db = job.snapshot_ref.build_database()
     if job.plan is not None:
         enum = job.plan.instantiate(job.db)
     else:

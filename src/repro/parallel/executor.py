@@ -129,6 +129,17 @@ def stream_sharded(
         kwargs=kwargs,
         plan=plan,
     )
+    from ..storage.persist import snapshot_shard_refs
+
+    refs = snapshot_shard_refs(db, partition)
+    if refs is not None:
+        # Every shard database derives from one on-disk snapshot: tag
+        # each job with a by-reference shard spec so the process backend
+        # ships (snapshot_path, shard_spec) and workers memory-map the
+        # same files instead of unpickling shard rows.  Serial/threads
+        # backends ignore the tag (``db`` stays attached in-process).
+        for job, ref in zip(jobs, refs):
+            job.snapshot_ref = ref
     streams = open_shard_streams(jobs, backend=backend, chunk_size=chunk_size)
 
     def generate() -> Iterator[RankedAnswer]:

@@ -35,6 +35,13 @@ from .paths import (
     ScanPath,
     SortedViewPath,
 )
+from .persist import (
+    SnapshotError,
+    open_database,
+    open_snapshot,
+    save_snapshot,
+    snapshot_handle,
+)
 
 # The encoding layer depends on repro.core (rankings, answers), which in
 # turn imports the data layer that this package underpins; load it
@@ -59,8 +66,13 @@ __all__ = [
     "EncodedDatabase",
     "HashIndexPath",
     "ScanPath",
+    "SnapshotError",
     "SortedViewPath",
     "kernels",
+    "open_database",
+    "open_snapshot",
+    "save_snapshot",
     "scores",
+    "snapshot_handle",
     "wrap_ranking",
 ]

@@ -76,6 +76,7 @@ __all__ = [
     "semijoin_mask",
     "set_enabled",
     "set_min_rows",
+    "shard_ids",
 ]
 
 Row = tuple
@@ -345,6 +346,28 @@ def rows_exactly_int(rows: Sequence[Row], positions: Sequence[int] | None = None
         return all(type(v) is int for row in rows for v in row)
     pos = tuple(positions)
     return all(type(row[i]) is int for row in rows for i in pos)
+
+
+# ---------------------------------------------------------------------- #
+# shard assignment: hash a whole key column in one array op
+# ---------------------------------------------------------------------- #
+def shard_ids(values: Sequence[Any], shards: int):
+    """Stable shard index per value as a plain list, or ``None``.
+
+    The vectorised twin of ``stable_shard`` in
+    :mod:`repro.data.partition`, for the columns where the two are
+    *provably* identical: exactly-integer columns, where the stable
+    hash is the value itself and ``%`` with a positive modulus agrees
+    between NumPy and Python (both floor, including for negatives).
+    Anything else — floats, strings, bools-as-a-column — refuses, and
+    the caller runs the per-row CRC loop.
+    """
+    arr = column_array(values)
+    if arr is None:
+        counters.record_fallback()
+        return None
+    counters.record_call()
+    return (arr % shards).tolist()
 
 
 # ---------------------------------------------------------------------- #

@@ -28,6 +28,13 @@ set of rules ``forbidden spelling -> modules allowed to use it``:
   everything else observes writes through generation counters and
   falls back to rebuilding;
 
+* the snapshot file format (the manifest layout, raw array file names
+  and mapped store classes of ``repro/storage/persist.py``) is confined
+  to ``repro/storage/`` — every other layer opens snapshots through the
+  public persist functions (``save_snapshot`` / ``open_snapshot`` /
+  ``open_database`` / ``snapshot_handle`` / ``snapshot_shard_refs``),
+  so the on-disk format can evolve behind one module;
+
 * the service layer (``repro/service/``) talks only to the session
   engine and public enumerator surfaces: importing ``repro.storage`` or
   ``repro.data`` there is a violation — the server must never bypass
@@ -101,6 +108,23 @@ RULES = (
         None,
     ),
     (
+        "snapshot file format outside the storage layer",
+        re.compile(
+            r"\bMappedColumnStore\b|\bMappedDictionary\b"
+            r"|\bSNAPSHOT_FORMAT\b|\bSNAPSHOT_VERSION\b"
+            r"|manifest\.json|dictionary\.json|\.codes\.mmap|scores\.mmap"
+            r"|np\.memmap\b"
+        ),
+        (STORAGE,),
+        "the snapshot file format (manifest layout, array files, mapped "
+        "store classes) is a storage-layer contract: consumers go "
+        "through the public repro.storage.persist functions "
+        "(save_snapshot/open_snapshot/open_database/snapshot_handle/"
+        "snapshot_shard_refs) and never parse or map snapshot files "
+        "themselves",
+        None,
+    ),
+    (
         "service reaching below the engine",
         re.compile(
             r"from\s+(?:repro|\.\.)\.?(?:storage|data)\b"
@@ -155,7 +179,8 @@ def main() -> int:
         "layering ok: physical storage access confined to repro/storage "
         "and repro/data/relation.py; score arrays to repro/storage and "
         "repro/core/ranking.py; delta plumbing to repro/storage and the "
-        "full reducer; repro/service isolated from storage/data"
+        "full reducer; snapshot file format to repro/storage; "
+        "repro/service isolated from storage/data"
     )
     return 0
 
