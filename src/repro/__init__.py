@@ -87,7 +87,14 @@ from .data.partition import (
 )
 from .engine import EngineStats, PreparedPlan, QueryEngine
 from .parallel import execute_sharded, merge_ranked_streams, stream_sharded
-from .storage import SnapshotError, open_database, save_snapshot
+from .storage import (
+    DurableDatabase,
+    JournalError,
+    SnapshotError,
+    open_database,
+    open_durable,
+    save_snapshot,
+)
 from .errors import (
     CyclicQueryError,
     DecompositionError,
@@ -118,9 +125,12 @@ __all__ = [
     # data
     "Database",
     "Relation",
-    # persistence
+    # persistence + durability
+    "DurableDatabase",
+    "JournalError",
     "SnapshotError",
     "open_database",
+    "open_durable",
     "save_snapshot",
     # session layer
     "QueryEngine",

@@ -158,6 +158,9 @@ class QueryEngine:
         self._snapshot = None if db is None else snapshot_handle(self.db)
         if self._snapshot is not None:
             self.stats.snapshot_opens += 1
+            self.stats.journal_records_replayed += getattr(
+                self._snapshot, "journal_replayed", 0
+            )
             if self._encode is not False:
                 self._encoded = self._snapshot.encoded_database(self.db)
 

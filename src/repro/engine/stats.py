@@ -153,6 +153,11 @@ class EngineStats:
         copy-on-write detached into RAM because something mutated them
         — a served snapshot should keep this at zero; a climbing value
         means writes are silently paying materialisation cost.
+    journal_records_replayed:
+        Write-ahead-journal records replayed into the database when the
+        engine's snapshot was opened (zero when the directory had no
+        journal or after a clean checkpoint) — a persistently large
+        value means checkpoints are overdue.
     executions / total_seconds / per_query:
         Execution counts and wall-clock, overall and per query name.
     """
@@ -180,6 +185,7 @@ class EngineStats:
         "score_fallbacks",
         "snapshot_opens",
         "snapshot_cow_detaches",
+        "journal_records_replayed",
         "executions",
         "total_seconds",
         "per_query",
@@ -212,6 +218,7 @@ class EngineStats:
         self.score_fallbacks = 0
         self.snapshot_opens = 0
         self.snapshot_cow_detaches = 0
+        self.journal_records_replayed = 0
         self.executions = 0
         self.total_seconds = 0.0
         self.per_query: dict[str, QueryTiming] = {}
@@ -262,6 +269,7 @@ class EngineStats:
             "score_fallbacks": self.score_fallbacks,
             "snapshot_opens": self.snapshot_opens,
             "snapshot_cow_detaches": self.snapshot_cow_detaches,
+            "journal_records_replayed": self.journal_records_replayed,
             "per_query": {
                 name: timing.snapshot() for name, timing in self.per_query.items()
             },

@@ -53,6 +53,7 @@ from ..data.database import Database
 from ..errors import ReproError
 from ..query.query import JoinProjectQuery, UnionQuery
 from ..storage import kernels
+from ..testing.faultinject import fault_point
 
 __all__ = ["BACKENDS", "ShardJob", "ShardStreams", "open_shard_streams", "run_many"]
 
@@ -135,6 +136,7 @@ class ShardJob:
 
 def _enumerate_shard(job: ShardJob) -> Iterator[RankedAnswer]:
     """Run one shard in the current process (all backends)."""
+    fault_point("parallel.worker")
     if job.db is None and job.snapshot_ref is not None:
         # Snapshot-shipped job: rebuild the shard database by mapping
         # the snapshot files (zero-copy, shared pages across workers).

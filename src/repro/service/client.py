@@ -17,16 +17,31 @@ remote results compare equal to local ones.
 The client is synchronous and thread-safe (one request/response pair at
 a time under an internal lock); for concurrent load, open one client per
 thread — connections are cheap, the server multiplexes them.
+
+Resilience: *idempotent* ops (``ping`` / ``stats`` / ``fetch`` /
+``close``) transparently reconnect and retry with exponential backoff
+plus jitter when the connection drops (``ConnectionResetError``,
+``BrokenPipeError``, a half-read response).  This is safe because every
+``fetch`` carries the cursor's expected offset (``at``): a retried fetch
+whose original response was lost in flight gets the server's buffered
+last page re-served verbatim, never a skipped or duplicated answer.
+Non-idempotent ops (``query`` / ``execute``) fail fast — the caller
+decides whether re-running the query is acceptable.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import threading
+import time
 from typing import Any, Iterator
 
+from ..testing.faultinject import fault_point
 from .protocol import (
+    BadOffsetError,
+    DeadlineExceededError,
     OverloadedError,
     ServiceError,
     StaleCursorError,
@@ -43,7 +58,14 @@ _ERROR_TYPES: dict[str, type[ServiceError]] = {
     "unknown-cursor": UnknownCursorError,
     "stale-cursor": StaleCursorError,
     "overloaded": OverloadedError,
+    "deadline-exceeded": DeadlineExceededError,
+    "bad-offset": BadOffsetError,
 }
+
+#: Ops that are safe to resend after a dropped connection.  ``fetch``
+#: qualifies because it always carries its expected offset (``at``) and
+#: the server re-serves the buffered page on a repeat offset.
+_IDEMPOTENT = frozenset({"ping", "stats", "fetch", "close"})
 
 
 def _raise_for(error: dict) -> None:
@@ -74,17 +96,26 @@ class RemoteCursor:
         self.last_stats: dict | None = payload.get("stats")
         self._closed = False
 
-    def fetch(self, n: int | None = None) -> list[tuple[tuple, Any]]:
+    def fetch(
+        self, n: int | None = None, *, deadline: float | None = None
+    ) -> list[tuple[tuple, Any]]:
         """The next page: up to ``n`` ranked answers (server default if None).
 
         Returns ``[]`` once the enumeration (or the ``k`` cap) is
-        exhausted; :attr:`done` flips accordingly.
+        exhausted; :attr:`done` flips accordingly.  The request carries
+        the cursor's expected offset, so a fetch retried across a
+        reconnect (or against a restarted, journal-recovered server)
+        resumes at exactly this position.  ``deadline`` bounds the
+        server-side work in seconds (:class:`DeadlineExceededError` on
+        expiry; the page is pushed back, so a retry loses nothing).
         """
         if self._closed or self.done:
             return []
-        fields: dict = {"cursor": self.cursor_id}
+        fields: dict = {"cursor": self.cursor_id, "at": self.position}
         if n is not None:
             fields["n"] = n
+        if deadline is not None:
+            fields["deadline"] = deadline
         payload = self._client.request("fetch", **fields)
         self.position = payload["position"]
         self.done = payload["done"]
@@ -129,7 +160,14 @@ class RemoteCursor:
 
 
 class ServiceClient:
-    """One TCP connection to a :class:`~repro.service.server.ReproServer`."""
+    """One TCP connection to a :class:`~repro.service.server.ReproServer`.
+
+    ``retries`` bounds the reconnect budget for idempotent ops; each
+    retry sleeps ``backoff * 2**(attempt-1)`` seconds (capped at
+    ``backoff_cap``) scaled by uniform jitter in ``[0.5, 1.0)`` so a
+    fleet of clients does not reconnect in lockstep.  Pass a seeded
+    ``rng`` for deterministic jitter in tests.
+    """
 
     def __init__(
         self,
@@ -138,29 +176,101 @@ class ServiceClient:
         *,
         tenant: str = "default",
         timeout: float = 60.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        rng: random.Random | None = None,
     ):
         self.tenant = tenant
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._rfile = self._sock.makefile("rb")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.reconnects = 0
+        self._rng = rng if rng is not None else random.Random()
+        self._sock: socket.socket | None = None
+        self._rfile = None
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
+        self._connect()
 
     # ------------------------------------------------------------------ #
     # transport
     # ------------------------------------------------------------------ #
+    def _connect(self) -> None:
+        fault_point("client.connect")
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._rfile = self._sock.makefile("rb")
+
+    def _teardown(self) -> None:
+        for closer in (self._rfile, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+        self._rfile = None
+        self._sock = None
+
     def request(self, op: str, **fields: Any) -> dict:
-        """Send one op and return its payload; raises on ``"ok": false``."""
+        """Send one op and return its payload; raises on ``"ok": false``.
+
+        Idempotent ops survive a dropped connection: the client tears
+        the socket down, reconnects with jittered exponential backoff
+        and resends, up to ``retries`` times.  Anything else — including
+        ``query``/``execute``, which may have taken effect server-side —
+        surfaces the failure to the caller immediately.
+        """
         message = {"op": op, "id": next(self._ids), "tenant": self.tenant}
         message.update({k: v for k, v in fields.items() if v is not None})
-        with self._lock:
-            self._sock.sendall(dump_message(message))
-            line = self._rfile.readline()
-        if not line:
-            raise ServiceError("connection closed by server", code="disconnected")
+        line = self._exchange(dump_message(message), retry=op in _IDEMPOTENT)
         response = parse_message(line)
         if not response.get("ok"):
             _raise_for(response.get("error", {}))
         return response
+
+    def _exchange(self, data: bytes, *, retry: bool) -> bytes:
+        attempts = self.retries + 1 if retry else 1
+        with self._lock:
+            for attempt in range(attempts):
+                if attempt:
+                    delay = min(
+                        self.backoff_cap, self.backoff * (2 ** (attempt - 1))
+                    )
+                    time.sleep(delay * (0.5 + self._rng.random() / 2))
+                try:
+                    if self._sock is None:
+                        self._connect()
+                        if attempt:
+                            self.reconnects += 1
+                    self._sock.sendall(data)
+                    line = self._rfile.readline()
+                    if not line.endswith(b"\n"):
+                        # Empty read or a half-written response: the
+                        # server went away mid-line — never parse it.
+                        raise ServiceError(
+                            "connection closed by server", code="disconnected"
+                        )
+                    return line
+                except ServiceError as exc:
+                    if exc.code != "disconnected":
+                        raise
+                    self._teardown()
+                    if attempt + 1 == attempts:
+                        raise
+                except OSError as exc:
+                    self._teardown()
+                    if attempt + 1 == attempts:
+                        raise ServiceError(
+                            f"connection failed after {attempts} "
+                            f"attempt(s): {exc}",
+                            code="disconnected",
+                        ) from exc
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------ #
     # ops
@@ -181,6 +291,7 @@ class ServiceClient:
         desc: Any = None,
         shards: int | None = None,
         backend: str | None = None,
+        deadline: float | None = None,
     ) -> RemoteCursor:
         """Open a server-side cursor over a ranked enumeration.
 
@@ -188,6 +299,7 @@ class ServiceClient:
         ``product`` / ``lex``); ``desc`` is a bool for aggregates or a
         list of attribute names for ``lex``.  ``shards``/``backend``
         select sharded enumeration (``serial`` or ``threads``).
+        ``deadline`` bounds the server-side open in seconds.
         """
         payload = self.request(
             "query",
@@ -197,6 +309,7 @@ class ServiceClient:
             desc=desc,
             shards=shards,
             backend=backend,
+            deadline=deadline,
         )
         return RemoteCursor(self, payload)
 
@@ -209,6 +322,7 @@ class ServiceClient:
         desc: Any = None,
         shards: int | None = None,
         backend: str | None = None,
+        deadline: float | None = None,
     ) -> list[tuple[tuple, Any]]:
         """One-shot ranked execution (no cursor); answers materialised."""
         payload = self.request(
@@ -219,6 +333,7 @@ class ServiceClient:
             desc=desc,
             shards=shards,
             backend=backend,
+            deadline=deadline,
         )
         self.last_stats = payload.get("stats")
         return decode_answers(payload["answers"])
@@ -230,14 +345,7 @@ class ServiceClient:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        try:
-            self._rfile.close()
-        except OSError:  # pragma: no cover - best effort
-            pass
-        try:
-            self._sock.close()
-        except OSError:  # pragma: no cover - best effort
-            pass
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -252,6 +360,17 @@ def connect(
     *,
     tenant: str = "default",
     timeout: float = 60.0,
+    retries: int = 3,
+    backoff: float = 0.05,
+    rng: random.Random | None = None,
 ) -> ServiceClient:
     """Open a :class:`ServiceClient` (use as a context manager)."""
-    return ServiceClient(host, port, tenant=tenant, timeout=timeout)
+    return ServiceClient(
+        host,
+        port,
+        tenant=tenant,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        rng=rng,
+    )

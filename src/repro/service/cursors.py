@@ -38,7 +38,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Iterator, Sequence
 
-from .protocol import UnknownCursorError
+from .protocol import BadOffsetError, UnknownCursorError
 
 __all__ = ["Cursor", "CursorTable"]
 
@@ -78,6 +78,9 @@ class Cursor:
         "_stream",
         "_lock",
         "_on_replay",
+        "_pushed",
+        "_last_page",
+        "_last_start",
     )
 
     def __init__(
@@ -106,6 +109,14 @@ class Cursor:
         self._stream: Iterator[Any] | None = None
         self._lock = threading.Lock()
         self._on_replay = on_replay
+        #: Answers returned by :meth:`push_back` (abandoned pages),
+        #: served again before the stream is pulled.
+        self._pushed: list[Any] = []
+        #: Buffered copy of the last non-empty page and its start offset
+        #: — re-served verbatim when a client retries the same ``at``
+        #: (a response lost to a dropped connection).
+        self._last_page: list[Any] | None = None
+        self._last_start = 0
 
     # ------------------------------------------------------------------ #
     # state queries
@@ -129,18 +140,50 @@ class Cursor:
             if self._stream is None and not self.exhausted:
                 self._stream = self._build(0)
 
-    def fetch(self, n: int) -> tuple[list[Any], bool]:
+    def fetch(self, n: int, at: int | None = None) -> tuple[list[Any], bool]:
         """The next ``<= n`` ranked answers and whether the stream is done.
 
-        Resumes the live stream when present; on an evicted cursor the
-        replay fallback rebuilds the stream fast-forwarded to
-        :attr:`position` first.  When the cursor was opened with a ``k``
-        cap, the page is clipped so at most ``k`` answers are ever
-        emitted in total — a cap reached mid-page marks the cursor
-        exhausted in the same response.
+        Resumes the live stream when present; on an evicted (or
+        journal-restored) cursor the replay fallback rebuilds the stream
+        fast-forwarded to :attr:`position` first.  When the cursor was
+        opened with a ``k`` cap, the page is clipped so at most ``k``
+        answers are ever emitted in total — a cap reached mid-page marks
+        the cursor exhausted in the same response.
+
+        ``at`` is the client's view of its position, making the fetch
+        idempotent across retries: matching the current position is a
+        normal fetch; matching the *previous* page's start re-serves the
+        buffered page verbatim (the response was lost in flight, the
+        answers were not); a forward offset on a replayable cursor
+        fast-forwards deterministically.  Anything else refuses with
+        :class:`~repro.service.protocol.BadOffsetError` — paging is
+        exact-or-refuse, never silently resynchronised.
         """
         with self._lock:
-            if self.exhausted or n <= 0:
+            if at is not None:
+                at = int(at)
+                if at != self.position:
+                    if self._last_page is not None and at == self._last_start:
+                        return list(self._last_page), (
+                            self.exhausted and not self._pushed
+                        )
+                    if (
+                        at > self.position
+                        and self._stream is None
+                        and not self._pushed
+                        and not self.exhausted
+                    ):
+                        # Replayable and behind the client (e.g. a journal
+                        # restored an older offset): deterministic
+                        # enumeration makes the skip exact.
+                        self.position = at
+                    else:
+                        raise BadOffsetError(
+                            f"cursor {self.cursor_id!r} cannot serve offset "
+                            f"{at} (position {self.position}); re-run the "
+                            "query"
+                        )
+            if (self.exhausted and not self._pushed) or n <= 0:
                 return [], self.exhausted
             want = n
             if self.k is not None:
@@ -148,18 +191,47 @@ class Cursor:
                 if want <= 0:
                     self._exhaust_locked()
                     return [], True
-            if self._stream is None:
-                # Evicted (or never primed): the recorded (query, offset)
-                # replay path.
-                self._stream = self._build(self.position)
-                self.replays += 1
-                if self._on_replay is not None:
-                    self._on_replay()
-            answers = list(itertools.islice(self._stream, want))
-            self.position += len(answers)
-            if len(answers) < want or (self.k is not None and self.position >= self.k):
+            start = self.position
+            answers: list[Any] = []
+            if self._pushed:
+                take = min(want, len(self._pushed))
+                answers = self._pushed[:take]
+                del self._pushed[:take]
+            stream_drained = False
+            remaining = want - len(answers)
+            if remaining > 0 and not self.exhausted:
+                if self._stream is None:
+                    # Evicted (or never primed): the recorded
+                    # (query, offset) replay path, resumed past any
+                    # pushed-back answers just served.
+                    self._stream = self._build(start + len(answers))
+                    self.replays += 1
+                    if self._on_replay is not None:
+                        self._on_replay()
+                pulled = list(itertools.islice(self._stream, remaining))
+                answers.extend(pulled)
+                stream_drained = len(pulled) < remaining
+            self.position = start + len(answers)
+            if stream_drained or (self.k is not None and self.position >= self.k):
                 self._exhaust_locked()
-            return answers, self.exhausted
+            if answers:
+                self._last_page = list(answers)
+                self._last_start = start
+            return answers, self.exhausted and not self._pushed
+
+    def push_back(self, answers: Sequence[Any]) -> None:
+        """Return an abandoned page: it will be served again, in order.
+
+        The deadline path uses this when a fetch completes after its
+        client stopped waiting — prepending the page keeps the ranked
+        sequence exact for the retry (or for a journal-restored resume).
+        """
+        if not answers:
+            return
+        with self._lock:
+            self._pushed[:0] = list(answers)
+            self.position -= len(answers)
+            self._last_page = None
 
     def evict(self) -> bool:
         """Release the live stream, keeping the replayable record.
@@ -190,7 +262,7 @@ class Cursor:
         return {
             "cursor": self.cursor_id,
             "position": self.position,
-            "done": self.exhausted,
+            "done": self.exhausted and not self._pushed,
             "live": self.live,
             "replays": self.replays,
         }
@@ -233,6 +305,7 @@ class CursorTable:
         self.expired = 0
         self.evicted = 0
         self.replays = 0
+        self.restored = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -269,6 +342,44 @@ class CursorTable:
         with self._lock:
             self._evict_over_limit_locked(keep=cursor)
         return cursor
+
+    def restore(
+        self,
+        cursor_id: str,
+        build: StreamBuilder,
+        *,
+        tenant: str,
+        head: Sequence[str],
+        k: int | None = None,
+        generation: int | None = None,
+        position: int = 0,
+    ) -> Cursor | None:
+        """Re-register a journal-recovered cursor under its original id.
+
+        Unlike :meth:`open`, the stream is *not* primed — a restored
+        cursor rebuilds lazily on its first fetch (the replay path), so
+        a server restart does not re-run every parked query up front.
+        Returns ``None`` when the id already exists (recovery is not
+        allowed to clobber live state).
+        """
+        now = self._clock()
+        with self._lock:
+            if cursor_id in self._cursors:
+                return None
+            cursor = Cursor(
+                cursor_id,
+                build,
+                tenant=tenant,
+                head=head,
+                k=k,
+                generation=generation,
+                now=now,
+                on_replay=self._count_replay,
+            )
+            cursor.position = int(position)
+            self._cursors[cursor_id] = cursor
+            self.restored += 1
+            return cursor
 
     def get(self, cursor_id: str) -> Cursor:
         """Look up a cursor, bumping its LRU recency and last-used time."""
@@ -368,6 +479,7 @@ class CursorTable:
                 "expired": self.expired,
                 "evicted": self.evicted,
                 "replays": self.replays,
+                "restored": self.restored,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

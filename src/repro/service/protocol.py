@@ -31,6 +31,8 @@ __all__ = [
     "UnknownCursorError",
     "StaleCursorError",
     "OverloadedError",
+    "DeadlineExceededError",
+    "BadOffsetError",
     "jsonable",
     "tupled",
     "encode_answers",
@@ -87,6 +89,27 @@ class OverloadedError(ServiceError):
     """Admission control refused the request (queue bound exceeded)."""
 
     code = "overloaded"
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's ``deadline`` elapsed before the server finished.
+
+    The work is abandoned server-side (a fetch's page is pushed back so
+    no answers are skipped); the client may retry with a longer deadline.
+    """
+
+    code = "deadline-exceeded"
+
+
+class BadOffsetError(ServiceError):
+    """A fetch's ``at`` offset does not match any servable position.
+
+    Exact-or-refuse paging: the server re-serves its buffered last page
+    or fast-forwards a replayable cursor, but never guesses across an
+    unservable gap — the client re-runs the query instead.
+    """
+
+    code = "bad-offset"
 
 
 def jsonable(value: Any) -> Any:

@@ -47,12 +47,14 @@ from ..core.ranking import (
 )
 from ..engine import QueryEngine
 from ..errors import ReproError
+from ..testing.faultinject import fault_point, fault_value
 from .admission import FairGate
 from .cursors import CursorTable
 from .protocol import (
     CURSOR_BACKENDS,
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
+    DeadlineExceededError,
     ServiceError,
     StaleCursorError,
     dump_message,
@@ -83,13 +85,23 @@ _RANKINGS: dict[str, type[RankingFunction]] = {
 class ServiceStats:
     """Server-level request counters (the ``stats`` op's ``service`` block)."""
 
-    __slots__ = ("connections", "requests", "errors", "answers_served", "by_op")
+    __slots__ = (
+        "connections",
+        "requests",
+        "errors",
+        "answers_served",
+        "deadline_exceeded",
+        "journal_errors",
+        "by_op",
+    )
 
     def __init__(self):
         self.connections = 0
         self.requests = 0
         self.errors = 0
         self.answers_served = 0
+        self.deadline_exceeded = 0
+        self.journal_errors = 0
         self.by_op: dict[str, int] = {}
 
     def count(self, op: str) -> None:
@@ -102,6 +114,8 @@ class ServiceStats:
             "requests": self.requests,
             "errors": self.errors,
             "answers_served": self.answers_served,
+            "deadline_exceeded": self.deadline_exceeded,
+            "journal_errors": self.journal_errors,
             "by_op": dict(self.by_op),
         }
 
@@ -148,6 +162,16 @@ class ReproServer:
     workers:
         Executor threads (default: ``max_inflight`` — one thread per
         admitted request is exactly enough).
+    durable:
+        An optional durability handle (duck-typed; in practice the
+        ``DurableDatabase`` from ``repro.open_durable`` — constructed by
+        the *embedding* code, never here: the service layer does not
+        import storage).  When present, cursor replay specs and resume
+        offsets are journaled through it, :meth:`start` restores every
+        journal-recovered cursor, and the ``stats`` op grows a
+        ``durability`` block.  Journaling is best-effort: data
+        durability is the journal's hard guarantee, cursor state
+        degrades gracefully (counted in ``journal_errors``).
     """
 
     def __init__(
@@ -163,8 +187,10 @@ class ReproServer:
         default_page: int = 100,
         max_page: int = 10_000,
         workers: int | None = None,
+        durable: Any = None,
     ):
         self.engine = engine
+        self.durable = durable
         self.host = host
         self.port = port
         self.default_page = default_page
@@ -193,6 +219,7 @@ class ReproServer:
         self._pool = ThreadPoolExecutor(
             max_workers=self._workers, thread_name_prefix="repro-service"
         )
+        self._restore_cursors()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
         )
@@ -254,7 +281,16 @@ class ReproServer:
                 if not line:
                     break
                 response = await self._respond(line)
-                writer.write(dump_message(response))
+                data = dump_message(response)
+                cut = fault_value("server.send")
+                if cut is not None:
+                    # Injected mid-response connection drop: a prefix of
+                    # the line goes out, then the socket dies — the shape
+                    # the client's idempotent retry must survive.
+                    writer.write(data[: max(0, min(cut, len(data)))])
+                    await writer.drain()
+                    break
+                writer.write(data)
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass
@@ -300,6 +336,9 @@ class ReproServer:
 
     async def _dispatch(self, op: str, message: dict) -> dict:
         self.stats.count(op)
+        # Validate up front for every op, so a malformed deadline is a
+        # clean ``bad-request`` even on ops that never block on one.
+        deadline = _optional_number(message, "deadline")
         if op == "ping":
             return {
                 "server": "repro-service",
@@ -307,15 +346,26 @@ class ReproServer:
                 "|D|": self.engine.db.size,
             }
         if op == "stats":
-            return {
+            payload = {
                 "service": self.stats.snapshot(),
                 "admission": self.gate.snapshot(),
                 "cursors": self.cursors.snapshot(),
                 "engine": jsonable_dict(self.engine.stats.snapshot()),
             }
+            if self.durable is not None:
+                try:
+                    payload["durability"] = jsonable_dict(
+                        self.durable.snapshot_info()
+                    )
+                except Exception:  # pragma: no cover - defensive
+                    self.stats.journal_errors += 1
+            return payload
         if op == "close":
             cursor_id = _require_str(message, "cursor")
-            return {"closed": self.cursors.close(cursor_id)}
+            closed = self.cursors.close(cursor_id)
+            if closed:
+                self._journal("record_cursor_close", cursor_id)
+            return {"closed": closed}
         if op not in ("query", "execute", "fetch"):
             raise ServiceError(f"unknown op {op!r}")
         if self._closing:
@@ -323,19 +373,60 @@ class ReproServer:
         tenant = str(message.get("tenant", "default"))
         async with self.gate.slot(tenant):
             loop = asyncio.get_running_loop()
+            ctx: dict = {}
             if op == "query":
-                work = self._prepare_query_work(message, tenant)
+                work = self._prepare_query_work(message, tenant, ctx)
             elif op == "execute":
                 work = self._prepare_execute_work(message)
             else:
-                work = self._prepare_fetch_work(message)
+                work = self._prepare_fetch_work(message, ctx)
             assert self._pool is not None
-            return await loop.run_in_executor(self._pool, work)
+            future = loop.run_in_executor(self._pool, work)
+            if deadline is None:
+                return await future
+            try:
+                # shield(): a timeout abandons the work, it does not
+                # cancel it — the executor thread cannot be interrupted
+                # anyway, and the done-callback cleans up its effects.
+                return await asyncio.wait_for(
+                    asyncio.shield(future), timeout=deadline
+                )
+            except asyncio.TimeoutError:
+                self.stats.deadline_exceeded += 1
+                future.add_done_callback(
+                    lambda f, op=op, ctx=ctx: self._abandon(op, ctx, f)
+                )
+                raise DeadlineExceededError(
+                    f"{op} did not complete within its {deadline}s deadline; "
+                    "the work was abandoned server-side (a fetch loses no "
+                    "answers — retry with the same offset)"
+                ) from None
 
     # ------------------------------------------------------------------ #
     # op bodies (run on executor threads)
     # ------------------------------------------------------------------ #
-    def _prepare_query_work(self, message: dict, tenant: str) -> Callable[[], dict]:
+    def _stream_builder(self, parsed, ranking, shards, backend, k, generation):
+        """The cursor's ``build(skip)`` replay closure — shared by fresh
+        opens and journal restores so both resume identically."""
+
+        def build(skip: int):
+            if self.engine.db.generation != generation:
+                raise StaleCursorError(
+                    "data changed since the cursor was created; "
+                    "re-run the query"
+                )
+            stream = self.engine.stream_parallel(
+                parsed, ranking, shards=shards, backend=backend, k=k
+            )
+            if skip:
+                next(itertools.islice(stream, skip - 1, skip), None)
+            return stream
+
+        return build
+
+    def _prepare_query_work(
+        self, message: dict, tenant: str, ctx: dict
+    ) -> Callable[[], dict]:
         query_text = _require_str(message, "query")
         k = _optional_int(message, "k", floor=1)
         shards = _optional_int(message, "shards", floor=1) or 1
@@ -346,25 +437,17 @@ class ReproServer:
                 " (processes-backend workers cannot be parked in a cursor)"
             )
         ranking = self._ranking_for(message)
+        rank_spec = message.get("rank")
+        desc_spec = message.get("desc")
 
         def work() -> dict:
+            fault_point("server.work")
             with self.engine.measure() as request:
                 parsed = self.engine.parse(query_text)
                 generation = self.engine.db.generation
-
-                def build(skip: int):
-                    if self.engine.db.generation != generation:
-                        raise StaleCursorError(
-                            "data changed since the cursor was created; "
-                            "re-run the query"
-                        )
-                    stream = self.engine.stream_parallel(
-                        parsed, ranking, shards=shards, backend=backend, k=k
-                    )
-                    if skip:
-                        next(itertools.islice(stream, skip - 1, skip), None)
-                    return stream
-
+                build = self._stream_builder(
+                    parsed, ranking, shards, backend, k, generation
+                )
                 cursor = self.cursors.open(
                     build,
                     tenant=tenant,
@@ -372,6 +455,21 @@ class ReproServer:
                     k=k,
                     generation=generation,
                 )
+            ctx["cursor_id"] = cursor.cursor_id
+            self._journal(
+                "record_cursor",
+                {
+                    "cursor": cursor.cursor_id,
+                    "tenant": tenant,
+                    "query": query_text,
+                    "k": k,
+                    "rank": rank_spec,
+                    "desc": desc_spec,
+                    "shards": shards,
+                    "backend": backend,
+                    "position": cursor.position,
+                },
+            )
             payload = cursor.describe()
             payload["head"] = list(cursor.head)
             payload["stats"] = request.snapshot()
@@ -379,16 +477,25 @@ class ReproServer:
 
         return work
 
-    def _prepare_fetch_work(self, message: dict) -> Callable[[], dict]:
+    def _prepare_fetch_work(self, message: dict, ctx: dict) -> Callable[[], dict]:
         cursor_id = _require_str(message, "cursor")
         n = _optional_int(message, "n", floor=1) or self.default_page
         n = min(n, self.max_page)
+        at = _optional_int(message, "at", floor=0)
         cursor = self.cursors.get(cursor_id)
+        ctx["cursor"] = cursor
 
         def work() -> dict:
+            fault_point("server.work")
+            before = cursor.position
             with self.engine.measure() as request:
-                answers, done = cursor.fetch(n)
+                answers, done = cursor.fetch(n, at=at)
+            ctx["answers"] = answers
             self.stats.answers_served += len(answers)
+            if cursor.position != before:
+                self._journal(
+                    "record_cursor_position", cursor.cursor_id, cursor.position
+                )
             payload = cursor.describe()
             payload["answers"] = encode_answers(answers)
             payload["done"] = done
@@ -438,6 +545,107 @@ class ReproServer:
                 self._rankings[key] = _build_ranking_uncached(rank, desc)
             return self._rankings[key]
 
+    # ------------------------------------------------------------------ #
+    # durability plumbing (no-ops without a durable handle)
+    # ------------------------------------------------------------------ #
+    def _journal(self, method: str, *args: Any) -> None:
+        """Best-effort cursor journaling through the durable handle.
+
+        Data durability is the journal's hard guarantee; cursor replay
+        state degrades gracefully — a refusing journal (broken after an
+        injected fsync fault, say) must not fail the request that was
+        otherwise served.
+        """
+        if self.durable is None:
+            return
+        try:
+            getattr(self.durable, method)(*args)
+        except Exception:
+            self.stats.journal_errors += 1
+
+    def _restore_cursors(self) -> int:
+        """Re-register every journal-recovered cursor (start-up path).
+
+        Fresh cursors get the same replay closure a live ``query`` op
+        builds — deterministic enumeration resumes them to the exact
+        next page.  Stale ones (opened against a data state that is not
+        the recovered one) are restored *poisoned*: they answer
+        ``stale-cursor``, never pages from a different ranked order.
+        Individually unrestorable specs are skipped (those cursors
+        answer ``unknown-cursor``), not fatal.
+        """
+        if self.durable is None:
+            return 0
+        try:
+            recovered = self.durable.recovered_cursors()
+        except Exception:
+            self.stats.journal_errors += 1
+            return 0
+        count = 0
+        for entry in recovered:
+            try:
+                spec = entry["spec"]
+                cursor_id = spec["cursor"]
+                tenant = str(spec.get("tenant", "default"))
+                k = spec.get("k")
+                position = int(entry.get("position", 0))
+                if entry.get("stale"):
+                    build = _poisoned_build
+                    head: tuple = ()
+                else:
+                    parsed = self.engine.parse(spec["query"])
+                    ranking = self._ranking_for(
+                        {"rank": spec.get("rank"), "desc": spec.get("desc")}
+                    )
+                    build = self._stream_builder(
+                        parsed,
+                        ranking,
+                        spec.get("shards") or 1,
+                        spec.get("backend") or "serial",
+                        k,
+                        self.engine.db.generation,
+                    )
+                    head = parsed.head
+                cursor = self.cursors.restore(
+                    cursor_id,
+                    build,
+                    tenant=tenant,
+                    head=head,
+                    k=k,
+                    generation=self.engine.db.generation,
+                    position=position,
+                )
+                if cursor is not None:
+                    count += 1
+            except Exception:
+                continue
+        return count
+
+    def _abandon(self, op: str, ctx: dict, future) -> None:
+        """Clean up after deadline-abandoned work (loop-side callback).
+
+        An abandoned fetch pushes its page back so the client's retry
+        sees the identical ranked sequence; an abandoned query closes
+        the cursor it opened (the client never learned its id).
+        """
+        if future.cancelled() or future.exception() is not None:
+            return
+        if op == "fetch":
+            cursor = ctx.get("cursor")
+            answers = ctx.get("answers")
+            if cursor is not None and answers:
+                try:
+                    cursor.push_back(answers)
+                except Exception:  # pragma: no cover - defensive
+                    return
+                self._journal(
+                    "record_cursor_position", cursor.cursor_id, cursor.position
+                )
+        elif op == "query":
+            cursor_id = ctx.get("cursor_id")
+            if cursor_id and self.cursors.close(cursor_id):
+                self._journal("record_cursor_close", cursor_id)
+
 
 def jsonable_dict(value: dict) -> dict:
     """Engine snapshots contain nested dicts only; make them JSON-safe."""
@@ -463,6 +671,24 @@ def _optional_int(message: dict, field: str, *, floor: int) -> int | None:
     if value < floor:
         raise ServiceError(f"{field!r} must be >= {floor}, got {value}")
     return value
+
+
+def _optional_number(message: dict, field: str) -> float | None:
+    value = message.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServiceError(f"{field!r} must be a number")
+    if not value > 0:
+        raise ServiceError(f"{field!r} must be > 0, got {value}")
+    return float(value)
+
+
+def _poisoned_build(skip: int):
+    """Replay closure for a stale recovered cursor: always refuses."""
+    raise StaleCursorError(
+        "cursor predates the recovered data state; re-run the query"
+    )
 
 
 # --------------------------------------------------------------------- #

@@ -46,8 +46,10 @@ from .persist import (
 # The encoding layer depends on repro.core (rankings, answers), which in
 # turn imports the data layer that this package underpins; load it
 # lazily (PEP 562) so ``repro.data.relation`` can import the storage
-# primitives without a cycle.
+# primitives without a cycle.  The journal rides the same hook simply to
+# keep the durability machinery off the cold-import path.
 _ENCODED_EXPORTS = ("DecodingEnumerator", "EncodedDatabase", "wrap_ranking")
+_JOURNAL_EXPORTS = ("DurableDatabase", "JournalError", "journal_path", "open_durable")
 
 
 def __getattr__(name: str):
@@ -55,6 +57,10 @@ def __getattr__(name: str):
         from . import encoded
 
         return getattr(encoded, name)
+    if name in _JOURNAL_EXPORTS:
+        from . import journal
+
+        return getattr(journal, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -63,13 +69,17 @@ __all__ = [
     "ColumnStore",
     "DecodingEnumerator",
     "Dictionary",
+    "DurableDatabase",
     "EncodedDatabase",
     "HashIndexPath",
+    "JournalError",
     "ScanPath",
     "SnapshotError",
     "SortedViewPath",
+    "journal_path",
     "kernels",
     "open_database",
+    "open_durable",
     "open_snapshot",
     "save_snapshot",
     "scores",

@@ -1,0 +1,826 @@
+"""Write-ahead delta journal: acknowledged writes survive kill -9.
+
+A snapshot (:mod:`~repro.storage.persist`) is immutable, so every write
+accepted after it — the delta bursts PR 7 maintains incrementally — used
+to die with the process.  This module adds the durability half: a
+``journal.wal`` file beside the snapshot that records each mutation
+*before* it is applied, fsync'd before the call returns.  Reopening the
+directory replays the journal over the mapped snapshot, so the
+acknowledged state is exactly what comes back after any single process
+crash.
+
+**Record framing.**  Each record is ``[length:u32 LE][crc32:u32 LE]``
+followed by a compact JSON payload.  Record types:
+
+``base``
+    First record of every journal: format tag, version, and the
+    ``checkpoint`` token binding it to one snapshot incarnation (the
+    snapshot manifest carries the same token).
+``append`` / ``delete``
+    One data mutation: relation name plus rows (appends are one record
+    per acknowledged burst, matching the store's one-delta-per-burst
+    write shape).  Data records carry a contiguous ``seq`` starting
+    at 1 after the snapshot.
+``cursor`` / ``cursor-position`` / ``cursor-close``
+    Service-cursor replay state — an opaque JSON spec composed by the
+    server (the journal never interprets it beyond the ``cursor`` id,
+    ``position`` and ``seq`` bookkeeping fields), so a restarted
+    server resumes every open cursor deterministically.
+``checkpoint-begin``
+    The checkpoint protocol's intent marker (see below).
+
+**Recovery is exact-or-refuse.**  A torn tail — partial header, record
+running past EOF, or a CRC mismatch on the final bytes — is the
+signature of a crash mid-write: the tail is dropped (it was never
+acknowledged).  A CRC mismatch with valid records *after* it cannot be
+a torn write and refuses with :class:`JournalError`, as do gaps in the
+data ``seq`` and token mismatches: no guessing about what was lost.
+
+**Checkpointing** folds the journal back into a fresh snapshot without
+a window in which a crash loses writes:
+
+1. append ``checkpoint-begin {next: T}`` to the old journal (fsync'd);
+2. save a fresh snapshot whose manifest carries token ``T`` (data
+   files under new token-tagged names; the manifest replace is the
+   commit point, and the old snapshot's files are untouched until
+   after the swap);
+3. atomically replace the journal with a fresh one whose base record
+   carries ``T`` (fresh cursors carried over, data records dropped —
+   they are in the snapshot now).
+
+A crash between 2 and 3 leaves a new-token manifest with an old-token
+journal whose final record is ``checkpoint-begin {next: T}``: recovery
+recognises exactly that shape, discards the data records (already in
+the snapshot) and resets the journal.  Any *other* token mismatch
+refuses.
+
+Like the snapshot layout, the journal file format is a storage-layer
+contract (``tools/check_layering.py`` rule 6): consumers go through
+:func:`open_durable` / :func:`journal_path` and the replay hook inside
+:func:`~repro.storage.persist.open_database`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import secrets
+import struct
+import threading
+import zlib
+from typing import Any, Iterable, Sequence
+
+from ..errors import ReproError
+from ..testing.faultinject import fault_point, fault_value
+from .persist import (
+    MANIFEST_FILE,
+    _fsync_dir,
+    _JSON_SAFE,
+    _SNAPSHOTS,
+    _write_json,
+    open_snapshot,
+    save_snapshot,
+)
+
+__all__ = [
+    "JOURNAL_FILE",
+    "JOURNAL_FORMAT",
+    "JOURNAL_VERSION",
+    "DurableDatabase",
+    "JournalError",
+    "journal_path",
+    "open_durable",
+    "replay_journal",
+]
+
+#: Journal file name inside a snapshot directory.
+JOURNAL_FILE = "journal.wal"
+#: Base-record ``format`` tag — anything else is not ours.
+JOURNAL_FORMAT = "repro-journal"
+#: Base-record ``version`` this build reads and writes.
+JOURNAL_VERSION = 1
+
+#: Sanity cap on one record's payload: a declared length beyond this is
+#: header corruption, not a record this module ever wrote.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct("<II")  # payload length, payload crc32
+
+
+class JournalError(ReproError):
+    """The journal could not be written, read, or recovered exactly."""
+
+
+def journal_path(directory: str | os.PathLike) -> str:
+    """The journal file of a snapshot directory (the public spelling)."""
+    return os.path.join(os.fspath(directory), JOURNAL_FILE)
+
+
+def _new_token() -> str:
+    """A fresh checkpoint token binding one journal to one snapshot."""
+    return secrets.token_hex(8)
+
+
+# ---------------------------------------------------------------------- #
+# framing
+# ---------------------------------------------------------------------- #
+def _frame(record: dict) -> bytes:
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    if len(payload) > MAX_RECORD_BYTES:
+        raise JournalError(
+            f"journal record of {len(payload)} bytes exceeds the "
+            f"{MAX_RECORD_BYTES}-byte cap"
+        )
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _read_frames(data: bytes) -> tuple[list[dict], list[int], bool]:
+    """Decode ``data`` into records; drop a torn tail, refuse corruption.
+
+    Returns ``(records, ends, torn)`` where ``ends[i]`` is the byte
+    offset just past record ``i`` — the acknowledged-prefix boundaries
+    the crash fuzzer kills at.
+    """
+    records: list[dict] = []
+    ends: list[int] = []
+    pos, size = 0, len(data)
+    torn = False
+    while pos < size:
+        if size - pos < _HEADER.size:
+            torn = True  # partial header: crash mid-write
+            break
+        length, crc = _HEADER.unpack_from(data, pos)
+        end = pos + _HEADER.size + length
+        if end > size:
+            torn = True  # record runs past EOF: the torn last record
+            break
+        if length > MAX_RECORD_BYTES:
+            raise JournalError(
+                f"corrupt journal: record at byte {pos} declares "
+                f"{length} bytes (cap {MAX_RECORD_BYTES}) with data after "
+                "it — interior corruption, not a torn tail"
+            )
+        payload = data[pos + _HEADER.size : end]
+        if zlib.crc32(payload) != crc:
+            if end == size:
+                torn = True  # final record, short of its checksum
+                break
+            raise JournalError(
+                f"corrupt journal: CRC mismatch at byte {pos} with "
+                f"{size - end} valid bytes after it — interior corruption, "
+                "not a torn tail; refusing rather than guessing what was "
+                "lost"
+            )
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise JournalError(
+                f"corrupt journal: CRC-valid record at byte {pos} is not "
+                "JSON"
+            ) from None
+        if not isinstance(record, dict) or "t" not in record:
+            raise JournalError(
+                f"corrupt journal: record at byte {pos} has no type tag"
+            )
+        records.append(record)
+        ends.append(end)
+        pos = end
+    return records, ends, torn
+
+
+def _create_journal(
+    target: str, token: str, extra_records: Iterable[dict] = ()
+) -> None:
+    """Write a fresh journal (base record + ``extra_records``) atomically."""
+    tmp = target + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(
+            _frame(
+                {
+                    "t": "base",
+                    "format": JOURNAL_FORMAT,
+                    "version": JOURNAL_VERSION,
+                    "checkpoint": token,
+                }
+            )
+        )
+        for record in extra_records:
+            fh.write(_frame(record))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, target)
+    _fsync_dir(os.path.dirname(target) or ".")
+
+
+# ---------------------------------------------------------------------- #
+# reading back: classification + replay
+# ---------------------------------------------------------------------- #
+class _Recovered:
+    """What one journal read yields: data to replay, cursors, boundaries."""
+
+    __slots__ = ("reset", "data", "last_seq", "cursors", "keep_bytes", "torn")
+
+    def __init__(self, *, reset, data, last_seq, cursors, keep_bytes, torn):
+        #: True for the crashed-checkpoint shape: the data records are
+        #: already in the snapshot; the journal must be reset.
+        self.reset = reset
+        self.data = data
+        self.last_seq = last_seq
+        #: ``cursor id -> {"spec", "position", "seq", "stale"}``.
+        self.cursors = cursors
+        #: Bytes worth keeping: everything before the torn tail and any
+        #: trailing (uncommitted) ``checkpoint-begin`` marker.
+        self.keep_bytes = keep_bytes
+        self.torn = torn
+
+
+def _fold_cursors(records: Sequence[dict]) -> dict[str, dict]:
+    cursors: dict[str, dict] = {}
+    for record in records:
+        kind = record["t"]
+        if kind == "cursor":
+            spec = {k: v for k, v in record.items() if k != "t"}
+            cursor_id = spec.get("cursor")
+            if not isinstance(cursor_id, str) or not cursor_id:
+                raise JournalError(
+                    f"corrupt journal: cursor record without an id: {spec!r}"
+                )
+            cursors[cursor_id] = {
+                "spec": spec,
+                "position": int(spec.get("position", 0)),
+                "seq": int(spec.get("seq", 0)),
+            }
+        elif kind == "cursor-position":
+            state = cursors.get(record.get("cursor"))
+            if state is not None:
+                state["position"] = int(record.get("position", state["position"]))
+        elif kind == "cursor-close":
+            cursors.pop(record.get("cursor"), None)
+    return cursors
+
+
+def _load_journal(target: str, manifest_token: str | None) -> _Recovered | None:
+    """Read and classify a journal against its snapshot's token.
+
+    ``None`` means "no usable journal" (missing, empty, or torn before
+    the base record ever landed) — the caller recreates it.  Raises
+    :class:`JournalError` for anything that cannot be explained by a
+    single crash.
+    """
+    try:
+        with open(target, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        return None
+    records, ends, torn = _read_frames(data)
+    if not records:
+        return None  # nothing was ever acknowledged through this file
+    base = records[0]
+    if base.get("t") != "base" or base.get("format") != JOURNAL_FORMAT:
+        raise JournalError(f"{target!r} is not a {JOURNAL_FORMAT} journal")
+    if base.get("version") != JOURNAL_VERSION:
+        raise JournalError(
+            f"unknown journal version {base.get('version')!r} (this build "
+            f"reads version {JOURNAL_VERSION}); refusing rather than "
+            "guessing at the record semantics"
+        )
+    token = base.get("checkpoint")
+    body = records[1:]
+    if token != manifest_token:
+        last = body[-1] if body else None
+        if (
+            isinstance(last, dict)
+            and last.get("t") == "checkpoint-begin"
+            and last.get("next") == manifest_token
+        ):
+            # Crash between snapshot commit and journal swap: every data
+            # record is in the snapshot; carry only cursors that reflect
+            # the full data state (their seq is 0 against the new base).
+            folded = _fold_cursors(body[:-1])
+            last_seq = max(
+                (r["seq"] for r in body[:-1] if r["t"] in ("append", "delete")),
+                default=0,
+            )
+            cursors = {}
+            for cursor_id, state in folded.items():
+                if state["seq"] != last_seq:
+                    continue
+                spec = dict(state["spec"])
+                spec["seq"] = 0
+                spec["position"] = state["position"]
+                cursors[cursor_id] = {
+                    "spec": spec,
+                    "position": state["position"],
+                    "seq": 0,
+                    "stale": False,
+                }
+            return _Recovered(
+                reset=True,
+                data=[],
+                last_seq=0,
+                cursors=cursors,
+                keep_bytes=0,
+                torn=torn,
+            )
+        raise JournalError(
+            f"journal token {token!r} does not match snapshot token "
+            f"{manifest_token!r}: the journal belongs to a different "
+            "snapshot incarnation (a re-save over a journaled directory?); "
+            "refusing rather than replaying foreign deltas — delete "
+            f"{JOURNAL_FILE!r} if the snapshot alone is the intended state"
+        )
+    # Token matches.  A *trailing* checkpoint-begin is a checkpoint that
+    # never committed its snapshot — drop the marker, keep everything
+    # before it; an interior one (possible after such a recovery kept
+    # appending) is inert and skipped.
+    keep = len(body)
+    if body and body[-1].get("t") == "checkpoint-begin":
+        keep -= 1
+    kept = body[:keep]
+    data = [r for r in kept if r.get("t") in ("append", "delete")]
+    seq = 0
+    for record in data:
+        seq += 1
+        if record.get("seq") != seq:
+            raise JournalError(
+                f"corrupt journal: data record {seq} carries seq "
+                f"{record.get('seq')!r} — the acknowledged sequence has a "
+                "gap; refusing rather than replaying around it"
+            )
+    folded = _fold_cursors(kept)
+    cursors = {
+        cursor_id: {**state, "stale": state["seq"] != seq}
+        for cursor_id, state in folded.items()
+    }
+    keep_bytes = ends[keep]  # ends[0] is the base record's end
+    return _Recovered(
+        reset=False,
+        data=data,
+        last_seq=seq,
+        cursors=cursors,
+        keep_bytes=keep_bytes,
+        torn=torn or keep < len(body),
+    )
+
+
+def _apply_record(db, record: dict) -> None:
+    """Replay one data record against a database, exactly."""
+    name = record.get("rel")
+    rel = db.get(name)
+    if rel is None:
+        raise JournalError(
+            f"journal references relation {name!r} which the snapshot "
+            "does not hold"
+        )
+    if record["t"] == "append":
+        rows = [tuple(row) for row in record.get("rows", ())]
+        for row in rows:
+            if len(row) != len(rel.attrs):
+                raise JournalError(
+                    f"journal append to {name!r} carries arity-{len(row)} "
+                    f"row {row!r}; relation expects {len(rel.attrs)}"
+                )
+        rel.add_rows(rows)
+    else:
+        row = tuple(record.get("row", ()))
+        if len(row) != len(rel.attrs):
+            raise JournalError(
+                f"journal delete from {name!r} carries arity-{len(row)} "
+                f"row {row!r}; relation expects {len(rel.attrs)}"
+            )
+        rel.remove(row)
+
+
+def replay_journal(snapshot, db) -> int:
+    """Replay a snapshot directory's journal over ``db`` (read-only).
+
+    The hook :func:`~repro.storage.persist.open_database` calls after
+    assembling the mapped database: acknowledged post-snapshot writes
+    come back, nothing on disk is modified.  Returns the number of data
+    records replayed (0 when there is no journal, or after a crashed
+    checkpoint whose data already lives in the snapshot).
+    """
+    recovered = _load_journal(
+        journal_path(snapshot.directory), snapshot.manifest.get("checkpoint")
+    )
+    if recovered is None or recovered.reset:
+        return 0
+    for record in recovered.data:
+        _apply_record(db, record)
+    return len(recovered.data)
+
+
+# ---------------------------------------------------------------------- #
+# the write side
+# ---------------------------------------------------------------------- #
+class _JournalWriter:
+    """Append-side handle: frame, write, fsync — in that order, always."""
+
+    def __init__(self, target: str):
+        self.target = target
+        self._fh = open(target, "r+b")
+        self._fh.seek(0, os.SEEK_END)
+        self.end = self._fh.tell()
+        self.broken = False
+
+    def append(self, record: dict) -> None:
+        if self.broken:
+            raise JournalError(
+                "journal is broken after a failed write/fsync; reopen the "
+                "database to recover the acknowledged prefix"
+            )
+        payload = _frame(record)
+        cut = fault_value("journal.write")
+        if cut is not None:
+            # Injected torn write: the crash happens mid-record.  The
+            # prefix reaches the file (flushed) and the process "dies" —
+            # here, the handle goes broken and the caller sees an OSError.
+            self._fh.write(payload[: max(0, min(cut, len(payload)))])
+            self._fh.flush()
+            self.broken = True
+            raise JournalError(
+                f"[faultinject] journal write torn at byte {cut}"
+            )
+        try:
+            self._fh.write(payload)
+            self._fh.flush()
+            fault_point("journal.fsync")
+            os.fsync(self._fh.fileno())
+        except OSError as exc:
+            # The record may or may not have reached the platter: it was
+            # never acknowledged, and recovery treats whatever survives
+            # as recovered-but-optional (torn tails are dropped).
+            self.broken = True
+            raise JournalError(
+                f"journal write could not be made durable ({exc}); the "
+                "record was never acknowledged — reopen the database to "
+                "recover the acknowledged prefix"
+            ) from exc
+        self.end += len(payload)
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+
+class DurableDatabase:
+    """A snapshot-backed database whose writes go journal-first.
+
+    The handle :func:`open_durable` returns.  ``db`` is an ordinary
+    :class:`~repro.data.database.Database` (snapshot-mapped, journal
+    replayed) to hand to a :class:`~repro.engine.QueryEngine`; mutations
+    made through :meth:`append` / :meth:`delete` are fsync'd into the
+    journal *before* they touch ``db``, so an acknowledged write
+    survives any single process crash.  Mutating ``db`` directly works
+    but is not durable — keep writes on this surface.
+
+    Also the durability surface the service layer drives (duck-typed —
+    the server never imports storage): :meth:`record_cursor` /
+    :meth:`record_cursor_position` / :meth:`record_cursor_close` journal
+    cursor replay state, and :meth:`recovered_cursors` yields what a
+    restarted server should restore.
+    """
+
+    def __init__(self, directory, snapshot, db, writer, *, token, write_seq, cursors, replayed):
+        self.directory = directory
+        self.db = db
+        self.write_seq = write_seq
+        self.checkpoints = 0
+        self.replayed = replayed
+        self._snapshot = snapshot
+        self._writer = writer
+        self._token = token
+        self._cursors = cursors
+        self._recovered = dict(cursors)
+        self._lock = threading.RLock()
+        self._closed = False
+
+    # -- guards --------------------------------------------------------- #
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise JournalError("durable database is closed")
+        if self._writer.broken:
+            raise JournalError(
+                "journal is broken after a failed write/fsync; reopen the "
+                "database to recover the acknowledged prefix"
+            )
+
+    def _relation(self, relation):
+        name = getattr(relation, "name", relation)
+        rel = self.db.get(name)
+        if rel is None:
+            raise JournalError(f"no relation {name!r} in the durable database")
+        return rel
+
+    @staticmethod
+    def _check_row(rel, row: tuple) -> None:
+        if len(row) != len(rel.attrs):
+            raise JournalError(
+                f"row {row!r} has arity {len(row)}, relation {rel.name!r} "
+                f"expects {len(rel.attrs)}"
+            )
+        for value in row:
+            if value is not None and type(value) not in _JSON_SAFE:
+                raise JournalError(
+                    f"cannot journal value {value!r} of type "
+                    f"{type(value).__name__}: it does not round-trip "
+                    "exactly through JSON (exact-or-refuse)"
+                )
+            if isinstance(value, float) and not math.isfinite(value):
+                raise JournalError(
+                    f"cannot journal non-finite float {value!r}: it has "
+                    "no exact JSON form"
+                )
+
+    # -- durable mutations ---------------------------------------------- #
+    def append(self, relation, rows: Iterable[Sequence[Any]]) -> int:
+        """Durably append a burst of rows; returns the new write seq.
+
+        The burst is one journal record and one store delta: journal
+        fsync first, then the in-memory apply — by the time this
+        returns, a kill -9 cannot lose the rows.
+        """
+        materialised = [tuple(row) for row in rows]
+        if not materialised:
+            return self.write_seq
+        with self._lock:
+            self._ensure_open()
+            rel = self._relation(relation)
+            for row in materialised:
+                self._check_row(rel, row)
+            self._writer.append(
+                {
+                    "t": "append",
+                    "seq": self.write_seq + 1,
+                    "rel": rel.name,
+                    "rows": [list(row) for row in materialised],
+                }
+            )
+            self.write_seq += 1
+            rel.add_rows(materialised)
+            return self.write_seq
+
+    def delete(self, relation, row: Sequence[Any]) -> int:
+        """Durably delete every occurrence of ``row``; returns the seq."""
+        with self._lock:
+            self._ensure_open()
+            rel = self._relation(relation)
+            materialised = tuple(row)
+            self._check_row(rel, materialised)
+            self._writer.append(
+                {
+                    "t": "delete",
+                    "seq": self.write_seq + 1,
+                    "rel": rel.name,
+                    "row": list(materialised),
+                }
+            )
+            self.write_seq += 1
+            rel.remove(materialised)
+            return self.write_seq
+
+    # -- cursor replay state -------------------------------------------- #
+    def record_cursor(self, spec: dict) -> None:
+        """Journal a newly opened cursor's replay spec (JSON-safe dict).
+
+        The journal stamps the current write seq into the spec: on
+        recovery a cursor is resumable exactly when it was opened
+        against the final acknowledged data state.
+        """
+        with self._lock:
+            self._ensure_open()
+            spec = dict(spec)
+            cursor_id = spec.get("cursor")
+            if not isinstance(cursor_id, str) or not cursor_id:
+                raise JournalError(f"cursor spec without an id: {spec!r}")
+            spec["seq"] = self.write_seq
+            spec.setdefault("position", 0)
+            self._writer.append({"t": "cursor", **spec})
+            self._cursors[cursor_id] = {
+                "spec": spec,
+                "position": int(spec["position"]),
+                "seq": self.write_seq,
+                "stale": False,
+            }
+
+    def record_cursor_position(self, cursor_id: str, position: int) -> None:
+        """Journal a cursor's new resume offset after a served page."""
+        with self._lock:
+            self._ensure_open()
+            self._writer.append(
+                {"t": "cursor-position", "cursor": cursor_id, "position": int(position)}
+            )
+            state = self._cursors.get(cursor_id)
+            if state is not None:
+                state["position"] = int(position)
+
+    def record_cursor_close(self, cursor_id: str) -> None:
+        """Journal that a cursor is gone (it will not be restored)."""
+        with self._lock:
+            self._ensure_open()
+            self._writer.append({"t": "cursor-close", "cursor": cursor_id})
+            self._cursors.pop(cursor_id, None)
+
+    def recovered_cursors(self) -> list[dict]:
+        """The cursors recovery found: ``{"spec", "position", "stale"}``.
+
+        ``stale`` marks cursors opened against a data state that is not
+        the final acknowledged one — a restarted server restores those
+        poisoned (they answer ``stale-cursor``) rather than silently
+        serving pages from a different database state.
+        """
+        return [
+            {
+                "spec": dict(state["spec"]),
+                "position": state["position"],
+                "stale": bool(state.get("stale")),
+            }
+            for state in self._recovered.values()
+        ]
+
+    # -- checkpointing --------------------------------------------------- #
+    def checkpoint(self) -> str:
+        """Fold the journal into a fresh snapshot; returns the new token.
+
+        Durable at every intermediate crash point (see the module
+        docstring for the protocol); after a *failed* checkpoint the
+        handle refuses further writes — reopen to recover.
+        """
+        with self._lock:
+            self._ensure_open()
+            old_manifest = dict(self._snapshot.manifest)
+            next_token = _new_token()
+            try:
+                self._writer.append({"t": "checkpoint-begin", "next": next_token})
+                save_snapshot(self.db, self.directory, checkpoint_token=next_token)
+                fault_point("journal.checkpoint")
+                carried = []
+                for state in self._cursors.values():
+                    if state.get("stale") or state["seq"] != self.write_seq:
+                        continue
+                    spec = dict(state["spec"])
+                    spec["seq"] = 0
+                    spec["position"] = state["position"]
+                    carried.append((spec["cursor"], spec))
+                _create_journal(
+                    self._writer.target,
+                    next_token,
+                    ({"t": "cursor", **spec} for _, spec in carried),
+                )
+            except Exception:
+                self._writer.broken = True
+                raise
+            self._writer.close()
+            self._writer = _JournalWriter(self._writer.target)
+            self._token = next_token
+            self.write_seq = 0
+            self.checkpoints += 1
+            self._cursors = {
+                cursor_id: {"spec": spec, "position": spec["position"], "seq": 0, "stale": False}
+                for cursor_id, spec in carried
+            }
+            self._snapshot.manifest["checkpoint"] = next_token
+            _cleanup_superseded(self.directory, old_manifest)
+            return next_token
+
+    # -- bookkeeping ----------------------------------------------------- #
+    @property
+    def journal_bytes(self) -> int:
+        """Acknowledged journal size — the crash fuzzer's kill offsets."""
+        return self._writer.end
+
+    def snapshot_info(self) -> dict:
+        """A JSON-safe durability summary (surfaced by server ``stats``)."""
+        return {
+            "directory": str(self.directory),
+            "write_seq": self.write_seq,
+            "journal_bytes": self.journal_bytes,
+            "checkpoints": self.checkpoints,
+            "replayed": self.replayed,
+            "recovered_cursors": len(self._recovered),
+            "live_cursors": len(self._cursors),
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._writer.close()
+
+    def __enter__(self) -> "DurableDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DurableDatabase({self.directory!r}, seq={self.write_seq}, "
+            f"{len(self._cursors)} cursors)"
+        )
+
+
+def _cleanup_superseded(directory, old_manifest: dict) -> None:
+    """Best-effort unlink of data files a checkpoint replaced.
+
+    Only files the *old* manifest referenced and the new one does not;
+    live mappings keep their inodes (POSIX), so open handles are safe.
+    Failures are ignored — garbage files cost disk, not correctness.
+    """
+    try:
+        with open(os.path.join(directory, MANIFEST_FILE), encoding="utf-8") as fh:
+            new_manifest = json.load(fh)
+    except (OSError, ValueError):
+        return
+    live = _manifest_files(new_manifest)
+    for name in _manifest_files(old_manifest) - live:
+        try:
+            os.unlink(os.path.join(directory, name))
+        except OSError:
+            pass
+
+
+def _manifest_files(manifest: dict) -> set[str]:
+    files = set()
+    for entry in manifest.get("relations", ()):
+        if isinstance(entry, dict) and "codes_file" in entry:
+            files.add(entry["codes_file"])
+    for key in ("dictionary", "scores"):
+        entry = manifest.get(key)
+        if isinstance(entry, dict) and "file" in entry:
+            files.add(entry["file"])
+    return files
+
+
+# ---------------------------------------------------------------------- #
+# opening
+# ---------------------------------------------------------------------- #
+def open_durable(path: str | os.PathLike) -> DurableDatabase:
+    """Open a snapshot directory for durable writes.
+
+    Recovers exactly: replays the journal's acknowledged records over
+    the mapped snapshot, truncates a torn tail (and an uncommitted
+    ``checkpoint-begin``), completes a crashed checkpoint's journal
+    swap, and refuses (:class:`JournalError`) on anything a single
+    crash cannot explain.  A pre-journal snapshot is adopted in place:
+    its manifest gets a checkpoint token and a fresh journal is created
+    beside it.  Works without NumPy (eager stores; only
+    :meth:`DurableDatabase.checkpoint` needs the snapshot writer).
+    """
+    path = os.fspath(path)
+    snapshot = open_snapshot(path)
+    token = snapshot.manifest.get("checkpoint")
+    if token is None:
+        # Adopt a pre-durability snapshot: stamp a token so the journal
+        # binds to exactly this incarnation.
+        token = _new_token()
+        snapshot.manifest["checkpoint"] = token
+        _write_json(os.path.join(path, MANIFEST_FILE), snapshot.manifest, indent=2)
+        _fsync_dir(path)
+    db = snapshot.database()
+    _SNAPSHOTS[db] = snapshot
+    target = journal_path(path)
+    recovered = _load_journal(target, token)
+    cursors: dict[str, dict] = {}
+    write_seq = 0
+    replayed = 0
+    if recovered is None:
+        _create_journal(target, token)
+    elif recovered.reset:
+        # Crashed checkpoint: data lives in the snapshot; finish the swap.
+        cursors = recovered.cursors
+        _create_journal(
+            target,
+            token,
+            ({"t": "cursor", **state["spec"]} for state in cursors.values()),
+        )
+    else:
+        total = os.path.getsize(target)
+        if recovered.keep_bytes != total:
+            # Drop the torn tail / uncommitted checkpoint marker so new
+            # records land on a clean boundary.
+            with open(target, "r+b") as fh:
+                fh.truncate(recovered.keep_bytes)
+                fh.flush()
+                os.fsync(fh.fileno())
+        for record in recovered.data:
+            _apply_record(db, record)
+        replayed = len(recovered.data)
+        write_seq = recovered.last_seq
+        cursors = recovered.cursors
+    snapshot.journal_replayed = replayed
+    return DurableDatabase(
+        path,
+        snapshot,
+        db,
+        _JournalWriter(target),
+        token=token,
+        write_seq=write_seq,
+        cursors=cursors,
+        replayed=replayed,
+    )

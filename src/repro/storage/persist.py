@@ -51,6 +51,7 @@ import weakref
 from typing import Any, Sequence
 
 from ..errors import ReproError
+from ..testing.faultinject import fault_point
 from . import kernels
 from .columnstore import _UNBUILT, ColumnStore
 from .deltas import DeltaLog
@@ -289,7 +290,7 @@ def _load_dictionary(directory: str) -> Dictionary:
 # ---------------------------------------------------------------------- #
 # saving
 # ---------------------------------------------------------------------- #
-def save_snapshot(db, path: str | os.PathLike) -> str:
+def save_snapshot(db, path: str | os.PathLike, *, checkpoint_token=None) -> str:
     """Persist a database as a snapshot directory; returns the path.
 
     Refuses (:class:`SnapshotError`) without NumPy — the array files are
@@ -297,8 +298,20 @@ def save_snapshot(db, path: str | os.PathLike) -> str:
     round-trip exactly: only plain ``bool``/``int``/``float``/``str``
     and ``None``, finite floats only, exact types (no subclasses).
 
-    The manifest is written last, atomically: a crashed save leaves a
-    directory that refuses to open rather than one that half-opens.
+    The manifest is written last, atomically and *durably*: every data
+    file is fsync'd before the manifest names it, the manifest replace
+    is fsync'd, and the directory entry itself is fsync'd — a crash (or
+    power loss) at any point leaves either the previous snapshot or the
+    new one, never a half-written hybrid.
+
+    ``checkpoint_token`` stamps the manifest with the journal-binding
+    token (see :mod:`~repro.storage.journal`); a fresh token is minted
+    when none is given, which deliberately invalidates any journal left
+    beside an overwritten snapshot — its deltas were relative to the
+    old incarnation.  Re-saving over an existing snapshot writes the
+    data files under token-tagged names, so the old incarnation's files
+    (possibly still mapped by live readers) are never truncated in
+    place; they are superseded atomically by the manifest replace.
     """
     if not kernels.HAS_NUMPY:
         raise SnapshotError(
@@ -327,6 +340,19 @@ def save_snapshot(db, path: str | os.PathLike) -> str:
     )
     path = os.fspath(path)
     os.makedirs(path, exist_ok=True)
+    if checkpoint_token is None:
+        import secrets
+
+        checkpoint_token = secrets.token_hex(8)
+    # Fresh directories get the plain historical names; a re-save over an
+    # existing snapshot tags the files with the new token so the previous
+    # incarnation's arrays (still mapped by live handles, still the valid
+    # snapshot if this save crashes) are never overwritten in place.
+    tag = (
+        f".{checkpoint_token[:8]}"
+        if os.path.isfile(os.path.join(path, MANIFEST_FILE))
+        else ""
+    )
     relations = []
     for index, rel in enumerate(db):
         store = rel._store
@@ -334,8 +360,8 @@ def save_snapshot(db, path: str | os.PathLike) -> str:
         matrix = np.empty((n, arity), dtype=_CODE_DTYPE)
         for j, column in enumerate(store.columns):
             matrix[:, j] = dictionary.encode_column(list(column))
-        file_name = f"rel_{index:03d}.codes.mmap"
-        matrix.tofile(os.path.join(path, file_name))
+        file_name = f"rel_{index:03d}{tag}.codes.mmap"
+        _write_bytes(os.path.join(path, file_name), matrix.tobytes())
         relations.append(
             {
                 "name": rel.name,
@@ -357,9 +383,11 @@ def save_snapshot(db, path: str | os.PathLike) -> str:
                 scores[code] = float("nan")
         else:
             scores[code] = float("nan")
-    scores.tofile(os.path.join(path, SCORES_FILE))
+    scores_file = f"identity{tag}.scores.mmap" if tag else SCORES_FILE
+    dictionary_file = f"dictionary{tag}.json" if tag else DICTIONARY_FILE
+    _write_bytes(os.path.join(path, scores_file), scores.tobytes())
     _write_json(
-        os.path.join(path, DICTIONARY_FILE), {"values": values}, allow_nan=False
+        os.path.join(path, dictionary_file), {"values": values}, allow_nan=False
     )
     manifest = {
         "format": SNAPSHOT_FORMAT,
@@ -369,23 +397,55 @@ def save_snapshot(db, path: str | os.PathLike) -> str:
         "score_dtype": _SCORE_DTYPE,
         "generation": db.generation,
         "delta_generation": db.delta_generation,
-        "dictionary": {"file": DICTIONARY_FILE, "entries": len(values)},
+        "checkpoint": checkpoint_token,
+        "dictionary": {"file": dictionary_file, "entries": len(values)},
         "scores": {
-            "file": SCORES_FILE,
+            "file": scores_file,
             "entries": len(values),
             "bytes": len(values) * _ITEM_BYTES,
         },
         "relations": relations,
     }
     _write_json(os.path.join(path, MANIFEST_FILE), manifest, indent=2)
+    _fsync_dir(path)
     return path
+
+
+def _write_bytes(target: str, data: bytes) -> None:
+    """Write one data file and fsync it before anything names it."""
+    with open(target, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        fault_point("persist.fsync")
+        os.fsync(fh.fileno())
 
 
 def _write_json(target: str, payload, **dump_kwargs) -> None:
     tmp = target + ".tmp"
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, **dump_kwargs)
+        fh.flush()
+        fault_point("persist.fsync")
+        os.fsync(fh.fileno())
     os.replace(tmp, target)
+
+
+def _fsync_dir(path: str) -> None:
+    """Durably commit a directory's entries (rename targets included).
+
+    Platforms without directory fds (Windows) silently skip — the
+    rename itself is still atomic there, just not power-loss durable.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 # ---------------------------------------------------------------------- #
@@ -494,6 +554,10 @@ class Snapshot:
         self.directory = directory
         self.manifest = manifest
         self.cow_detaches = 0
+        #: Data records :func:`open_database` replayed from the journal
+        #: (:mod:`~repro.storage.journal`) — surfaced as
+        #: ``EngineStats.journal_records_replayed``.
+        self.journal_replayed = 0
         self._entries = {e["name"]: e for e in manifest["relations"]}
         self._stores: dict[tuple[str, str], ColumnStore] = {}
         self._dictionary: Dictionary | None = None
@@ -723,10 +787,20 @@ def open_database(path: str | os.PathLike):
     answers are bit-identical to the database that was saved, and the
     handle is remembered so :class:`~repro.engine.QueryEngine` can skip
     the encode pass entirely.
+
+    When a write-ahead journal (:mod:`~repro.storage.journal`) sits
+    beside the snapshot, its acknowledged records are replayed over the
+    mapped database — a kill -9 after an acknowledged write loses
+    nothing.  Replay here is read-only (nothing on disk changes);
+    :func:`~repro.storage.journal.open_durable` is the writable handle.
     """
     snapshot = open_snapshot(path)
     db = snapshot.database()
     _SNAPSHOTS[db] = snapshot
+    if os.path.exists(os.path.join(snapshot.directory, "journal.wal")):
+        from .journal import replay_journal
+
+        snapshot.journal_replayed = replay_journal(snapshot, db)
     return db
 
 

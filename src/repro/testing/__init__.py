@@ -1,5 +1,44 @@
-"""Randomized testing harnesses for the engine's mutable-data paths."""
+"""Randomized testing harnesses for the engine's mutable-data paths.
 
-from .deltafuzz import FuzzFailure, fuzz, generate_case, run_case, shrink_case
+:mod:`~repro.testing.faultinject` is imported eagerly: it is pure
+stdlib, and the storage and service layers import its fault points at
+module load.  The fuzzers are exported lazily (PEP 562) because they
+import the engine, which imports storage — loading them here eagerly
+would close an import cycle through ``storage.journal``'s use of the
+fault points.
+"""
 
-__all__ = ["FuzzFailure", "fuzz", "generate_case", "run_case", "shrink_case"]
+from . import faultinject
+from .faultinject import FaultError, FaultPlan, clock, fault_point, fault_value, inject
+
+__all__ = [
+    "CrashFailure",
+    "FaultError",
+    "FaultPlan",
+    "FuzzFailure",
+    "clock",
+    "fault_point",
+    "fault_value",
+    "faultinject",
+    "fuzz",
+    "fuzz_crashes",
+    "generate_case",
+    "inject",
+    "run_case",
+    "shrink_case",
+]
+
+_DELTAFUZZ_EXPORTS = {"FuzzFailure", "fuzz", "generate_case", "run_case", "shrink_case"}
+_CRASHFUZZ_EXPORTS = {"CrashFailure", "fuzz_crashes"}
+
+
+def __getattr__(name):
+    if name in _DELTAFUZZ_EXPORTS:
+        from . import deltafuzz
+
+        return getattr(deltafuzz, name)
+    if name in _CRASHFUZZ_EXPORTS:
+        from . import crashfuzz
+
+        return getattr(crashfuzz, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

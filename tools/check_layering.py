@@ -35,6 +35,13 @@ set of rules ``forbidden spelling -> modules allowed to use it``:
   ``open_database`` / ``snapshot_handle`` / ``snapshot_shard_refs``),
   so the on-disk format can evolve behind one module;
 
+* the write-ahead journal's on-disk format (the ``journal.wal`` file
+  name, record framing and format markers of
+  ``repro/storage/journal.py``) is confined to ``repro/storage/`` —
+  consumers open durable databases through ``open_durable`` /
+  ``open_database`` and locate the file through ``journal_path``, never
+  touching journal bytes themselves;
+
 * the service layer (``repro/service/``) talks only to the session
   engine and public enumerator surfaces: importing ``repro.storage`` or
   ``repro.data`` there is a violation — the server must never bypass
@@ -125,6 +132,21 @@ RULES = (
         None,
     ),
     (
+        "journal file format outside the storage layer",
+        re.compile(
+            r"journal\.wal|repro-journal|checkpoint-begin"
+            r"|\bJOURNAL_FILE\b|\bJOURNAL_FORMAT\b|\bJOURNAL_VERSION\b"
+            r"|\bMAX_RECORD_BYTES\b"
+        ),
+        (STORAGE,),
+        "the write-ahead journal's on-disk format (file name, record "
+        "framing, format markers) is a storage-layer contract: consumers "
+        "go through the public journal surface (open_durable/"
+        "journal_path/replay via open_database) and never read or write "
+        "journal bytes themselves",
+        None,
+    ),
+    (
         "service reaching below the engine",
         re.compile(
             r"from\s+(?:repro|\.\.)\.?(?:storage|data)\b"
@@ -179,8 +201,8 @@ def main() -> int:
         "layering ok: physical storage access confined to repro/storage "
         "and repro/data/relation.py; score arrays to repro/storage and "
         "repro/core/ranking.py; delta plumbing to repro/storage and the "
-        "full reducer; snapshot file format to repro/storage; "
-        "repro/service isolated from storage/data"
+        "full reducer; snapshot and journal file formats to "
+        "repro/storage; repro/service isolated from storage/data"
     )
     return 0
 
