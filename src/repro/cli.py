@@ -24,7 +24,10 @@ Usage (also via ``python -m repro``)::
   shorthand for one shard per core, ``--backend`` picks the worker
   backend (``processes`` default, ``threads``/``serial`` for
   debugging);
-* ``--stats`` prints timing plus the engine's cache hit/miss counters;
+* ``--stats`` prints timing plus the engine's cache hit/miss counters,
+  the per-phase (reduce/build/enumerate) timing split, and the
+  vectorised-enumeration counters (``batched_combines`` /
+  ``bulk_topk_calls`` / ``bulk_topk_fallbacks``);
 * ``--format csv|json|table`` picks the result serialisation: CSV rows
   (default), one JSON document (for benchmarks and downstream tools),
   or an aligned human-readable table.
@@ -267,7 +270,22 @@ def _run_one(engine: QueryEngine, query_text: str, ranking, args) -> None:
         enum = engine.last_enumerator
         stats = getattr(enum, "stats", None)
         if stats is not None:
-            print(f"# stats: {stats.snapshot()}", file=sys.stderr)
+            snap = stats.snapshot()
+            print(f"# stats: {snap}", file=sys.stderr)
+            if "reduce_seconds" in snap:
+                print(
+                    "# phases: reduce={reduce_seconds:.6f}s "
+                    "build={build_seconds:.6f}s "
+                    "enumerate={enumerate_seconds:.6f}s".format(**snap),
+                    file=sys.stderr,
+                )
+        es = engine.stats
+        print(
+            f"# vectorised: batched_combines={es.batched_combines} "
+            f"bulk_topk_calls={es.bulk_topk_calls} "
+            f"bulk_topk_fallbacks={es.bulk_topk_fallbacks}",
+            file=sys.stderr,
+        )
 
 
 def _json_value(value):

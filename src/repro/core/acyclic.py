@@ -49,15 +49,37 @@ from ..data.database import Database
 from ..errors import QueryError
 from ..query.jointree import JoinTree, JoinTreeNode, build_join_tree
 from ..query.query import JoinProjectQuery
+from ..storage import kernels
 from .answers import EnumerationStats, RankedAnswer
 from .base import RankedEnumeratorBase
 from .cell import Cell, UNSET
 from .heap import HeapStats, RankHeap
-from .ranking import BoundRanking, RankingFunction, SumRanking, batched_node_keys
+from .ranking import (
+    BoundRanking,
+    RankingFunction,
+    SumRanking,
+    batched_node_key_array,
+    batched_node_keys,
+    combine_counters,
+    topk_counters,
+)
 
-__all__ = ["AcyclicRankedEnumerator"]
+__all__ = ["AcyclicRankedEnumerator", "BULK_TOPK_MAX_K"]
 
 Row = tuple
+
+#: Default ``k`` ceiling for the bulk top-k kernel when the engine layer
+#: enables it (:meth:`repro.engine.prepared.PreparedPlan.make_enumerator`).
+#: Above it the incremental heap wins: bulk materialises every candidate
+#: answer, which is the right trade only while k stays small relative to
+#: the output.  Direct enumerator construction defaults to *disabled*
+#: (``bulk_topk_max_k=0``) — the class embodies the paper's any-delay
+#: algorithm and keeps its per-answer cost profile unless asked.
+BULK_TOPK_MAX_K = 256
+
+#: Refuse the bulk kernel when an intermediate join materialises more
+#: than this many rows — the heap path's laziness is the better trade.
+BULK_TOPK_ROW_CAP = 5_000_000
 
 
 class _RTNode:
@@ -76,6 +98,7 @@ class _RTNode:
         "pqs",
         "seen",
         "is_root",
+        "batched",
     )
 
     def __init__(
@@ -118,6 +141,12 @@ class _RTNode:
         self.pqs: dict[tuple, RankHeap[Cell]] = {}
         self.seen: dict[tuple, set] = {}
         self.is_root = tree_node.is_root
+        # True when every initial cell key of this node came through the
+        # float64 array path (or is the ranking's empty-set constant) —
+        # the precondition for a parent to gather this node's top keys
+        # into an array.  A scalar-keyed child (e.g. huge-int identity
+        # weights that float64 cannot hold) forces scalar combine upward.
+        self.batched = False
 
     def anchor_of(self, row: Row) -> tuple:
         return tuple(row[i] for i in self.anchor_positions)
@@ -172,6 +201,7 @@ class AcyclicRankedEnumerator(RankedEnumeratorBase):
         dedup_inserts: bool = True,
         instances: Mapping[str, list[Row]] | None = None,
         already_reduced: bool = False,
+        bulk_topk_max_k: int = 0,
     ):
         self.query = query
         self.db = db
@@ -180,6 +210,7 @@ class AcyclicRankedEnumerator(RankedEnumeratorBase):
         self._dedup_inserts = dedup_inserts
         self._given_instances = instances
         self._already_reduced = already_reduced
+        self._bulk_topk_max_k = int(bulk_topk_max_k)
 
         if join_tree is None:
             join_tree = build_join_tree(query, root=root)
@@ -198,32 +229,44 @@ class AcyclicRankedEnumerator(RankedEnumeratorBase):
         self._head_reorder: tuple[int, ...] = ()
         self._preprocessed = False
         self._exhausted = False
+        self._instances: Mapping[str, list[Row]] | None = None
+        self._tree: JoinTree | None = None
 
     # ------------------------------------------------------------------ #
     # preprocessing (Algorithm 1)
     # ------------------------------------------------------------------ #
-    def preprocess(self) -> "AcyclicRankedEnumerator":
-        """Run the full reducer and build all per-node priority queues."""
-        if self._preprocessed:
-            return self
-        started = time.perf_counter()
+    def _prepare_instances(self):
+        """Reducer pass + pruning, shared by queue build and bulk top-k.
 
-        # The given instances are used as-is (full_reduce copies before
-        # filtering, queue construction only reads) so that warm
-        # ReducedInstances keep their source-view bindings and survivor
-        # arrays — that metadata is what lets the batched key path below
-        # gather storage-cached score columns instead of re-weighing
-        # every row.
+        The given instances are used as-is (full_reduce copies before
+        filtering, downstream code only reads) so that warm
+        ReducedInstances keep their source-view bindings and survivor
+        arrays — that metadata is what lets the batched key paths gather
+        storage-cached score columns instead of re-weighing every row.
+        """
+        if self._instances is not None:
+            return self._instances, self._tree
+        started = time.perf_counter()
         if self._given_instances is not None:
             instances = self._given_instances
         else:
             instances = atom_instances(self.query, self.db)
         if not self._already_reduced:
             instances = full_reduce(self.join_tree, instances)
-
         tree = self.join_tree
         if self._prune:
             tree, _dropped = tree.pruned()
+        self._instances = instances
+        self._tree = tree
+        self.stats.reduce_seconds += time.perf_counter() - started
+        return instances, tree
+
+    def preprocess(self) -> "AcyclicRankedEnumerator":
+        """Run the full reducer and build all per-node priority queues."""
+        if self._preprocessed:
+            return self
+        instances, tree = self._prepare_instances()
+        started = time.perf_counter()
 
         head_position = {v: i for i, v in enumerate(self.query.head)}
         rt_by_alias: dict[str, _RTNode] = {}
@@ -246,7 +289,10 @@ class AcyclicRankedEnumerator(RankedEnumeratorBase):
         self._head_reorder = tuple(range(len(self.query.head)))
 
         self._preprocessed = True
-        self.stats.preprocess_seconds = time.perf_counter() - started
+        self.stats.build_seconds += time.perf_counter() - started
+        self.stats.preprocess_seconds = (
+            self.stats.reduce_seconds + self.stats.build_seconds
+        )
         return self
 
     def _build_node_queues(
@@ -255,41 +301,168 @@ class AcyclicRankedEnumerator(RankedEnumeratorBase):
         bound = self.bound
         make_key = bound.key
         combine = bound.combine
-        for i, row in enumerate(rows):
-            if own_keys is not None:
-                own_key = own_keys[i]
-            else:
-                own_key = make_key([(v, row[p]) for v, p in rt.own_pairs])
-            own_out = tuple(row[p] for p in rt.own_positions)
-            if rt.children:
-                child_cells = []
-                dead = False
-                for child_rt, key_pos in zip(rt.children, rt.child_key_positions):
-                    ck = tuple(row[i] for i in key_pos)
-                    pq = child_rt.pqs.get(ck)
-                    if pq is None or not pq:
-                        # Can only happen when the caller passed unreduced
-                        # instances with already_reduced=True; treat the
-                        # tuple as dangling and skip it.
-                        dead = True
-                        break
-                    child_cells.append(pq.top())
-                if dead:
-                    continue
-                children = tuple(child_cells)
-                key = combine([own_key] + [c.key for c in children])
+        # Initial cells are unique combinations (rows are distinct and
+        # all point at the current child tops), so duplicate tracking is
+        # skipped; entries are grouped per anchor and heapified in one
+        # pass (RankHeap.push_many) instead of pushed one at a time.
+        groups: dict[tuple, list[tuple[tuple, Cell]]] = {}
+        batched = self._batched_combine(rt, rows, own_keys) if rt.children else None
+        if batched is not None:
+            rt.batched = True
+            keys, row_children = batched
+            zero_key = None if rt.own_pairs else make_key([])
+            for i, row in enumerate(rows):
+                children = row_children[i]
+                if children is None:
+                    continue  # dangling row (see the scalar branch below)
+                own_key = own_keys[i] if own_keys is not None else zero_key
+                own_out = tuple(row[p] for p in rt.own_positions)
+                key = keys[i]
                 out = self._layout(rt, own_out, children)
+                cell = Cell(row, children, key, out, own_key, own_out)
+                self.stats.cells_created += 1
+                u = tuple(row[j] for j in rt.anchor_positions)
+                entries = groups.get(u)
+                if entries is None:
+                    entries = groups[u] = []
+                entries.append(((key, out), cell))
+        else:
+            if not rt.children:
+                # Leaf keys either came out of one array pass or are
+                # the ranking's empty-set constant — both exactly
+                # float64-representable, so parents may gather them.
+                rt.batched = (own_keys is not None or not rt.own_pairs) and (
+                    bound.batch_weight() is not None
+                )
+            for i, row in enumerate(rows):
+                if own_keys is not None:
+                    own_key = own_keys[i]
+                else:
+                    own_key = make_key([(v, row[p]) for v, p in rt.own_pairs])
+                own_out = tuple(row[p] for p in rt.own_positions)
+                if rt.children:
+                    child_cells = []
+                    dead = False
+                    for child_rt, key_pos in zip(rt.children, rt.child_key_positions):
+                        ck = tuple(row[j] for j in key_pos)
+                        pq = child_rt.pqs.get(ck)
+                        if pq is None or not pq:
+                            # Can only happen when the caller passed
+                            # unreduced instances with
+                            # already_reduced=True; treat the tuple as
+                            # dangling and skip it.
+                            dead = True
+                            break
+                        child_cells.append(pq.top())
+                    if dead:
+                        continue
+                    children = tuple(child_cells)
+                    key = combine([own_key] + [c.key for c in children])
+                    out = self._layout(rt, own_out, children)
+                else:
+                    children = ()
+                    key = own_key
+                    out = own_out
+                cell = Cell(row, children, key, out, own_key, own_out)
+                self.stats.cells_created += 1
+                u = tuple(row[j] for j in rt.anchor_positions)
+                entries = groups.get(u)
+                if entries is None:
+                    entries = groups[u] = []
+                entries.append(((key, out), cell))
+        for u, entries in groups.items():
+            pq = RankHeap(self.heap_stats)
+            pq.push_many(entries)
+            rt.pqs[u] = pq
+
+    def _batched_combine(self, rt: _RTNode, rows: Sequence[Row], own_keys):
+        """Per-row combined keys + child-top cells through array passes.
+
+        Returns ``(keys, children_per_row)`` — ``keys[i]`` bit-identical
+        to the scalar ``combine([own_key] + child top keys)`` and
+        ``children_per_row[i]`` the matching child-top cells (``None``
+        for dangling rows) — or ``None`` to refuse, in which case the
+        per-row scalar loop runs unchanged.  The match of each row
+        against each child's queue-family keys runs as one
+        sort-and-search kernel pass per child instead of a dict lookup
+        per row, and the key combine as one array expression per node.
+        """
+        bound = self.bound
+        if not rows or not kernels.enabled():
+            return None
+        if bound.batch_weight() is None:
+            combine_counters.record_fallback("unbatchable-ranking")
+            return None
+        if own_keys is None and rt.own_pairs:
+            # The node's own keys did not come out of the array path, so
+            # per-row floats are not available to combine with.
+            combine_counters.record_fallback("no-key-array")
+            return None
+        if any(not child.batched for child in rt.children):
+            combine_counters.record_fallback("scalar-child-keys")
+            return None
+        np = kernels.np
+        n = len(rows)
+        if own_keys is not None:
+            own_arr = np.asarray(own_keys, dtype=np.float64)
+        else:
+            own_arr = np.full(n, float(bound.zero))
+        valid = np.ones(n, dtype=bool)
+        key_arrays = [own_arr]
+        child_tops: list[list[Cell]] = []
+        child_fam_idx: list = []
+        for child_rt, key_pos in zip(rt.children, rt.child_key_positions):
+            fams = child_rt.pqs
+            if not fams:
+                valid[:] = False
+                child_tops.append([])
+                child_fam_idx.append(np.zeros(n, dtype=np.int64))
+                key_arrays.append(np.zeros(n))
+                continue
+            tops = [pq.top() for pq in fams.values()]
+            if not key_pos:
+                idx = np.zeros(n, dtype=np.int64)  # single ()-anchored family
             else:
-                children = ()
-                key = own_key
-                out = own_out
-            cell = Cell(row, children, key, out, own_key, own_out)
-            self.stats.cells_created += 1
-            # Initial cells are unique combinations (rows are distinct and
-            # all point at the current child tops), so duplicate tracking
-            # is skipped here; successors can never collide with them
-            # because advancing a pointer always changes it.
-            self._push(rt, cell, track=False)
+                parent_cols = kernels.key_columns(rows, key_pos)
+                if parent_cols is None:
+                    combine_counters.record_fallback("conversion")
+                    return None
+                fam_cols = kernels.key_columns(
+                    list(fams.keys()), range(len(key_pos))
+                )
+                if fam_cols is None:
+                    combine_counters.record_fallback("conversion")
+                    return None
+                packed = kernels.pack_pair(parent_cols, fam_cols)
+                if packed is None:
+                    combine_counters.record_fallback("pack-overflow")
+                    return None
+                p_keys, f_keys = packed
+                order = np.argsort(f_keys)
+                sf = f_keys[order]
+                pos = np.minimum(np.searchsorted(sf, p_keys), len(sf) - 1)
+                valid &= sf[pos] == p_keys
+                idx = order[pos]
+            top_keys = np.array([top.key for top in tops], dtype=np.float64)
+            child_tops.append(tops)
+            child_fam_idx.append(idx)
+            key_arrays.append(top_keys[idx])
+        combined = bound.combine_key_arrays(key_arrays)
+        if combined is None:
+            combine_counters.record_fallback("combine-refused")
+            return None
+        combine_counters.record_call()
+        keys = combined.tolist()
+        valid_list = valid.tolist()
+        idx_lists = [idx.tolist() for idx in child_fam_idx]
+        children_per_row: list[tuple[Cell, ...] | None] = []
+        append = children_per_row.append
+        for i in range(n):
+            if not valid_list[i]:
+                append(None)
+                continue
+            append(tuple(tops[il[i]] for tops, il in zip(child_tops, idx_lists)))
+        return keys, children_per_row
 
     def _layout(self, rt: _RTNode, own_out: tuple, children: tuple[Cell, ...]) -> tuple:
         """Partial output in global head order (see ``_RTNode.out_plan``)."""
@@ -420,6 +593,172 @@ class AcyclicRankedEnumerator(RankedEnumeratorBase):
         return cell.next
 
     # ------------------------------------------------------------------ #
+    # bulk top-k (vectorised small-k serve)
+    # ------------------------------------------------------------------ #
+    def top_k(self, k: int) -> list[RankedAnswer]:
+        """First ``k`` answers; small k may be served by the bulk kernel.
+
+        When ``bulk_topk_max_k`` is set (the engine layer does, direct
+        construction defaults to off), ``k`` is at or below it and the
+        ranking is batched-capable, the answer prefix is computed in one
+        materialise-partition-sort pass over arrays
+        (:meth:`_bulk_topk`) — bit-identical to the heap emission, ties
+        included.  Any refusal falls back to the incremental heap path
+        with its delay guarantees intact, counted in
+        ``bulk_topk_fallbacks``.
+        """
+        limit = self._bulk_topk_max_k
+        if (
+            limit > 0
+            and 0 < k <= limit
+            and not self._exhausted
+            and not self._preprocessed
+            and kernels.enabled()
+        ):
+            if self.bound.batch_weight() is None:
+                topk_counters.record_fallback("unbatchable-ranking")
+            else:
+                answers = self._bulk_topk(k)
+                if answers is not None:
+                    topk_counters.record_call()
+                    return answers
+                topk_counters.record_fallback("refused")
+        return super().top_k(k)
+
+    def _bulk_topk(self, k: int) -> list[RankedAnswer] | None:
+        """One array pass from reduced instances to the k best answers.
+
+        Post-order over the join tree, each node's state three aligned
+        array groups: anchor columns, output columns (head order) and a
+        float64 key per distinct (anchor, output) partial answer.  A
+        node joins its rows against each child state on the anchor
+        (``pack_pair`` + ``join_indices``), combines keys with the same
+        nested structure as the scalar ``combine([own] + children)``
+        (float addition is not associative — structure is identity),
+        dedups with ``distinct_indices`` (a partial answer's key is a
+        pure function of its output values, so any representative's key
+        is *the* key), and the root selects k via ``np.partition`` on
+        the kth key, an ``<=``-mask that keeps boundary ties, and one
+        ``lexsort`` by (key, output) — exactly the heap's emission
+        order, weakly-monotone key-group sorting included.  Returns
+        ``None`` to refuse (the heap path then runs unchanged).
+        """
+        np = kernels.np
+        bound = self.bound
+        instances, tree = self._prepare_instances()
+        started = time.perf_counter()
+        head_position = {v: i for i, v in enumerate(self.query.head)}
+        states: dict[str, tuple] = {}
+        rt_by_alias: dict[str, _RTNode] = {}
+        for node in tree.post_order():
+            rows = instances[node.alias]
+            children_rt = [rt_by_alias[c.alias] for c in node.children]
+            rt = _RTNode(node, children_rt, head_position)
+            rt_by_alias[node.alias] = rt
+            if not rows:
+                # Reduced instances: one empty relation empties the output.
+                self._exhausted = True
+                self.stats.enumerate_seconds += time.perf_counter() - started
+                return []
+            if rt.own_pairs and not kernels.rows_exactly_int(rows, rt.own_positions):
+                return None  # output rebuild would normalise bool/IntEnum
+            if rt.own_pairs:
+                own_arr = batched_node_key_array(
+                    bound, instances, node.alias, rt.own_pairs
+                )
+                if own_arr is None:
+                    return None
+            else:
+                own_arr = np.full(len(rows), float(bound.zero))
+            needed = set(rt.anchor_positions) | set(rt.own_positions)
+            for key_pos in rt.child_key_positions:
+                needed.update(key_pos)
+            cols = {}
+            for p in needed:
+                col = kernels.column_array([row[p] for row in rows])
+                if col is None:
+                    return None
+                cols[p] = col
+            sel = np.arange(len(rows))
+            acc_child_cols: list[list] = []
+            acc_child_keys: list = []
+            for child_rt, key_pos in zip(children_rt, rt.child_key_positions):
+                c_anchor, c_out, c_keys = states[child_rt.alias]
+                parent_key_cols = [cols[p][sel] for p in key_pos]
+                if key_pos:
+                    packed = kernels.pack_pair(parent_key_cols, list(c_anchor))
+                    if packed is None:
+                        return None
+                    p_keys, ca_keys = packed
+                else:
+                    p_keys = np.zeros(len(sel), dtype=np.int64)
+                    ca_keys = np.zeros(len(c_keys), dtype=np.int64)
+                li, ri = kernels.join_indices(p_keys, ca_keys)
+                if len(li) > BULK_TOPK_ROW_CAP:
+                    return None
+                sel = sel[li]
+                acc_child_cols = [
+                    [col[li] for col in colset] for colset in acc_child_cols
+                ]
+                acc_child_keys = [arr[li] for arr in acc_child_keys]
+                acc_child_cols.append([col[ri] for col in c_out])
+                acc_child_keys.append(c_keys[ri])
+            if acc_child_keys:
+                keys = bound.combine_key_arrays([own_arr[sel]] + acc_child_keys)
+                if keys is None:
+                    return None
+            else:
+                # Leaves take their own key verbatim — the scalar path
+                # applies combine() only when children exist (and e.g.
+                # PRODUCT's combine strips key signs that must survive).
+                keys = own_arr[sel]
+            anchor_cols = [cols[p][sel] for p in rt.anchor_positions]
+            own_out_cols = [cols[p][sel] for p in rt.own_positions]
+            parts = [own_out_cols] + acc_child_cols
+            out_cols = [parts[src][off] for src, off in rt.out_plan]
+            dedup_cols = anchor_cols + out_cols
+            if dedup_cols:
+                matrix = np.stack(dedup_cols, axis=1)
+            else:
+                matrix = np.empty((len(sel), 0), dtype=np.int64)
+            first = kernels.distinct_indices(matrix)
+            if first is None:
+                return None
+            anchor_cols = [c[first] for c in anchor_cols]
+            out_cols = [c[first] for c in out_cols]
+            keys = keys[first]
+            states[node.alias] = (anchor_cols, out_cols, keys)
+
+        root_rt = rt_by_alias[tree.root.alias]
+        if root_rt.out_vars != self.query.head:
+            raise QueryError(
+                f"internal error: root output {root_rt.out_vars} does not "
+                f"match head {self.query.head}"
+            )
+        _anchor, out_cols, keys = states[tree.root.alias]
+        n = len(keys)
+        if n == 0:
+            self._exhausted = True
+            self.stats.enumerate_seconds += time.perf_counter() - started
+            return []
+        if n > k:
+            kth = np.partition(keys, k - 1)[k - 1]
+            mask = keys <= kth  # keep every boundary tie, truncate post-sort
+            out_cols = [c[mask] for c in out_cols]
+            keys = keys[mask]
+        order = np.lexsort(tuple(reversed(out_cols)) + (keys,))[:k]
+        out_matrix = np.stack([c[order] for c in out_cols], axis=1)
+        final_score = bound.final_score
+        answers = [
+            RankedAnswer(tuple(values), final_score(key), key=key)
+            for values, key in zip(out_matrix.tolist(), keys[order].tolist())
+        ]
+        self._exhausted = True
+        self.stats.answers += len(answers)
+        self.stats.enumerate_seconds += time.perf_counter() - started
+        return answers
+
+    # ------------------------------------------------------------------ #
     # conveniences
     # ------------------------------------------------------------------ #
     def fresh(self) -> "AcyclicRankedEnumerator":
@@ -433,4 +772,5 @@ class AcyclicRankedEnumerator(RankedEnumeratorBase):
             dedup_inserts=self._dedup_inserts,
             instances=self._given_instances,
             already_reduced=self._already_reduced,
+            bulk_topk_max_k=self._bulk_topk_max_k,
         )

@@ -54,6 +54,12 @@ class EnumerationStats:
     paper's empirical-delay proxy (Figure 14a).  ``cells_created`` and
     ``peak_pq_entries`` proxy the data-structure memory footprint that
     the paper reports against the engines' multi-GB materialisations.
+
+    ``preprocess_seconds`` splits into ``reduce_seconds`` (reducer pass
+    + pruning/dangling removal) and ``build_seconds`` (queue/index
+    construction, scoring included); ``enumerate_seconds`` accumulates
+    time spent emitting answers (``top_k``/``all``/bulk serves) — the
+    per-phase breakdown ``repro --stats`` prints.
     """
 
     __slots__ = (
@@ -62,6 +68,9 @@ class EnumerationStats:
         "reducer_passes",
         "pq_ops_per_answer",
         "preprocess_seconds",
+        "reduce_seconds",
+        "build_seconds",
+        "enumerate_seconds",
         "heap_stats",
     )
 
@@ -71,6 +80,9 @@ class EnumerationStats:
         self.reducer_passes = 0
         self.pq_ops_per_answer: list[int] = []
         self.preprocess_seconds = 0.0
+        self.reduce_seconds = 0.0
+        self.build_seconds = 0.0
+        self.enumerate_seconds = 0.0
         self.heap_stats = heap_stats
 
     @property
@@ -92,6 +104,9 @@ class EnumerationStats:
             "peak_pq_entries": self.peak_pq_entries,
             "total_pq_operations": self.total_pq_operations,
             "preprocess_seconds": self.preprocess_seconds,
+            "reduce_seconds": self.reduce_seconds,
+            "build_seconds": self.build_seconds,
+            "enumerate_seconds": self.enumerate_seconds,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -23,6 +23,7 @@ an identical surface.
 
 from __future__ import annotations
 
+import time
 from typing import Iterator
 
 from .answers import RankedAnswer
@@ -86,10 +87,13 @@ class RankedEnumeratorBase:
         out: list[RankedAnswer] = []
         if k <= 0:
             return out
+        self.preprocess()
+        started = time.perf_counter()
         for answer in self:
             out.append(answer)
             if len(out) >= k:
                 break
+        self._note_enumerate_seconds(time.perf_counter() - started)
         return out
 
     def all(self) -> list[RankedAnswer]:
@@ -99,7 +103,17 @@ class RankedEnumeratorBase:
         ``O(|Q(D)|)`` space in the caller's hands; the enumerator's own
         extra space stays at its documented bound.
         """
-        return list(self)
+        self.preprocess()
+        started = time.perf_counter()
+        out = list(self)
+        self._note_enumerate_seconds(time.perf_counter() - started)
+        return out
+
+    def _note_enumerate_seconds(self, elapsed: float) -> None:
+        """Accumulate emission time into ``stats.enumerate_seconds``."""
+        stats = getattr(self, "stats", None)
+        if stats is not None and hasattr(stats, "enumerate_seconds"):
+            stats.enumerate_seconds += elapsed
 
     def fresh(self):  # pragma: no cover - overridden where reuse matters
         """A reset clone able to enumerate again; override per subclass."""

@@ -88,6 +88,32 @@ class RankHeap(Generic[T]):
         if st.live_entries > st.peak_entries:
             st.peak_entries = st.live_entries
 
+    def push_many(self, entries: Iterable[tuple[Any, T]]) -> None:
+        """Insert ``(sort_key, item)`` pairs in one heapify pass.
+
+        O(n) against the push loop's O(n log n) — the win the initial
+        queue builds want, where every entry arrives before the first
+        pop.  The pop sequence is identical to pushing one at a time:
+        entries are totally ordered by ``(sort_key, seq)``, so a heap's
+        pop order is their sorted order however the heap was built, and
+        sequence numbers are drawn here in iteration order exactly as
+        the loop would draw them.
+        """
+        added = [(sort_key, next(_seq), item) for sort_key, item in entries]
+        if not added:
+            return
+        if self._entries:
+            for entry in added:
+                heapq.heappush(self._entries, entry)
+        else:
+            self._entries = added
+            heapq.heapify(self._entries)
+        st = self.stats
+        st.pushes += len(added)
+        st.live_entries += len(added)
+        if st.live_entries > st.peak_entries:
+            st.peak_entries = st.live_entries
+
     def top(self) -> T:
         """The minimum item (raises IndexError when empty)."""
         return self._entries[0][2]

@@ -33,11 +33,13 @@ from ..query.jointree import JoinTree, build_join_tree
 from ..query.query import JoinProjectQuery
 from .answers import EnumerationStats, RankedAnswer
 from .base import RankedEnumeratorBase
-from .ranking import Desc, WeightFunction
+from .ranking import Desc, WeightFunction, batched_weight_table
 
 __all__ = ["LexBacktrackEnumerator"]
 
 Row = tuple
+
+_MISSING = object()  # weight-table sentinel: raising values stay uncached
 
 
 class LexBacktrackEnumerator(RankedEnumeratorBase):
@@ -108,6 +110,7 @@ class LexBacktrackEnumerator(RankedEnumeratorBase):
         self.stats = EnumerationStats()
         self._instances: dict[str, list[Row]] | None = None
         self._exhausted = False
+        self._weight_tables: dict[str, dict] = {}
         # Atoms (alias, position) containing each order variable.
         self._holders: dict[str, list[tuple[str, int]]] = {}
         for var in self._order:
@@ -148,6 +151,24 @@ class LexBacktrackEnumerator(RankedEnumeratorBase):
             self._instances = instances
         else:
             self._instances = full_reduce(self.join_tree, instances)
+        self.stats.reduce_seconds = time.perf_counter() - started
+
+        # Cached per-variable weight tables: one batched distinct pass
+        # and one weight call per distinct value, so the candidate sorts
+        # read a dict instead of re-calling the weight function per
+        # value per backtracking level.  The cached entry is the weight
+        # call's exact return value, so comparison keys are unchanged;
+        # values absent from a table (or whole columns that refuse) fall
+        # back to the direct call, raising identically where the
+        # uncached path would.
+        if self._weight is not None:
+            for var in self._order:
+                alias0, pos0 = self._holders[var][0]
+                table = batched_weight_table(
+                    self._weight, var, self._instances[alias0], pos0
+                )
+                if table is not None:
+                    self._weight_tables[var] = table
 
         # Value indexes for the first order variable's holders.
         self._value_index: dict[str, dict] = {}
@@ -179,6 +200,9 @@ class LexBacktrackEnumerator(RankedEnumeratorBase):
                     index.setdefault(tuple(row[i] for i in pos), []).append(row)
                 self._edge_index[(alias, pos)] = index
         self.stats.preprocess_seconds = time.perf_counter() - started
+        self.stats.build_seconds = (
+            self.stats.preprocess_seconds - self.stats.reduce_seconds
+        )
         return self
 
     def _index_reduce(self, seeds: dict[str, list[Row]]) -> dict[str, list[Row]]:
@@ -291,10 +315,21 @@ class LexBacktrackEnumerator(RankedEnumeratorBase):
 
     def _value_key(self, var: str, value):
         """Per-attribute comparison key: ``(w(value), value)`` when a
-        weight function is configured, the raw value otherwise."""
-        if self._weight is not None:
-            return (self._weight(var, value), value)
-        return value
+        weight function is configured, the raw value otherwise.
+
+        Weighted comparisons read the cached weight table built in
+        :meth:`preprocess` (one weight call per distinct value); values
+        outside the table call the weight function directly — same
+        result, same errors.
+        """
+        if self._weight is None:
+            return value
+        table = self._weight_tables.get(var)
+        if table is not None:
+            w = table.get(value, _MISSING)
+            if w is not _MISSING:
+                return (w, value)
+        return (self._weight(var, value), value)
 
     def fresh(self) -> "LexBacktrackEnumerator":
         """A new enumerator with identical configuration."""

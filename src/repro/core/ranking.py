@@ -47,6 +47,17 @@ and anything the arrays cannot reproduce — LEX and composite keys,
 non-real or missing weights, non-``int`` values — returns ``None`` so
 the scalar path runs unchanged.  This module is the only non-storage
 module allowed to touch raw score arrays (``tools/check_layering.py``).
+
+The enumeration phase has its own array algebra on top of the scoring
+one: :meth:`BoundRanking.combine_key_arrays` is the array form of
+:meth:`BoundRanking.combine` over *already-signed key* arrays (a node's
+own keys plus one child-top key column per child), used by the batched
+queue construction and the bulk top-k kernel in
+:mod:`repro.core.acyclic`.  :data:`combine_counters` and
+:data:`topk_counters` record those two dispatch sites' successes and
+reason-coded refusals; :class:`~repro.engine.stats.EngineStats`
+surfaces them as ``batched_combines`` / ``bulk_topk_calls`` /
+``bulk_topk_fallbacks``.
 """
 
 from __future__ import annotations
@@ -71,9 +82,22 @@ __all__ = [
     "LexRanking",
     "CompositeRanking",
     "Desc",
+    "batched_column_keys",
+    "batched_node_key_array",
     "batched_node_keys",
     "batched_output_keys",
+    "batched_weight_table",
+    "combine_counters",
+    "topk_counters",
 ]
+
+#: Instrumentation for the two enumeration-phase array dispatch sites
+#: (same thread-safe, scope-collecting class as the kernel counters):
+#: ``combine_counters`` tracks per-node batched ``combine`` passes in
+#: queue construction, ``topk_counters`` tracks bulk ``top_k`` serves.
+#: Refusals carry reason codes (``reasons_snapshot()``).
+combine_counters = kernels.KernelCounters()
+topk_counters = kernels.KernelCounters()
 
 Pair = tuple[str, Any]
 
@@ -252,6 +276,20 @@ class BoundRanking:
         """
         return None
 
+    def combine_key_arrays(self, arrays: Sequence[Any]):
+        """Per-row combined keys from aligned *key* arrays.
+
+        The array form of :meth:`combine`: ``arrays[j][i]`` is part
+        ``j``'s key for row ``i`` (a node's own key plus one child-top
+        key per child), already signed — unlike
+        :meth:`combine_score_arrays`, no direction sign is applied
+        here.  The result's entry ``i`` must be bit-identical to
+        ``combine([arrays[0][i], arrays[1][i], ...])``.  ``None``
+        refuses (LEX/composite keys are not flat floats), and the
+        enumerator's scalar combine loop runs unchanged.
+        """
+        return None
+
 
 class RankingFunction:
     """Base spec; :meth:`bind` produces the operational object."""
@@ -307,6 +345,14 @@ class _SumBound(_AggregateBound):
         acc = 0.0 + self.sign * arrays[0]
         for arr in arrays[1:]:
             acc = acc + self.sign * arr
+        return acc
+
+    def combine_key_arrays(self, arrays):
+        # combine() is sum(keys): int-0 start, then left-to-right adds.
+        # Keys are already signed, so no sign is applied here.
+        acc = 0.0 + arrays[0]
+        for arr in arrays[1:]:
+            acc = acc + arr
         return acc
 
 
@@ -380,6 +426,13 @@ class _MinBound(_AggregateBound):
             acc = np.minimum(acc, self.sign * arr)
         return acc
 
+    def combine_key_arrays(self, arrays):
+        acc = arrays[0]
+        np = kernels.np
+        for arr in arrays[1:]:
+            acc = np.minimum(acc, arr)
+        return acc
+
 
 class MinRanking(RankingFunction):
     """Rank by the minimum attribute weight (ascending)."""
@@ -419,6 +472,13 @@ class _MaxBound(_AggregateBound):
         np = kernels.np
         for arr in arrays[1:]:
             acc = np.maximum(acc, self.sign * arr)
+        return acc
+
+    def combine_key_arrays(self, arrays):
+        acc = arrays[0]
+        np = kernels.np
+        for arr in arrays[1:]:
+            acc = np.maximum(acc, arr)
         return acc
 
 
@@ -488,6 +548,15 @@ class _ProductBound(BoundRanking):
         acc = 1.0 * arrays[0]
         for arr in arrays[1:]:
             acc = acc * arr
+        return np.negative(acc) if self.descending else acc
+
+    def combine_key_arrays(self, arrays):
+        # combine() multiplies 1.0 by abs(k) for every key (keys carry
+        # the direction as their sign); mirror it op for op.
+        np = kernels.np
+        acc = 1.0 * np.abs(arrays[0])
+        for arr in arrays[1:]:
+            acc = acc * np.abs(arr)
         return np.negative(acc) if self.descending else acc
 
 
@@ -688,10 +757,10 @@ def _view_score_array(instances, alias: str, rows, position: int, attr: str, wei
     return arr
 
 
-def batched_node_keys(
+def batched_node_key_array(
     bound: BoundRanking, instances, alias: str, own_pairs: Sequence[tuple[str, int]]
-) -> list | None:
-    """Rank keys of one join-tree node's rows as a plain float list.
+):
+    """Rank keys of one join-tree node's rows as a ``float64`` array.
 
     ``own_pairs`` is the node's owned head variables with their column
     positions in ``instances[alias]`` (the enumerator's ``_RTNode``
@@ -704,7 +773,7 @@ def batched_node_keys(
         return None
     weight = bound.batch_weight()
     if weight is None:
-        scores.counters.record_fallback()
+        scores.counters.record_fallback("unbatchable-ranking")
         return None
     rows = instances[alias]
     if not rows:
@@ -719,9 +788,17 @@ def batched_node_keys(
         arrays.append(arr)
     keys = bound.combine_score_arrays(arrays)
     if keys is None:
-        scores.counters.record_fallback()
+        scores.counters.record_fallback("combine-refused")
         return None
-    return keys.tolist()
+    return keys
+
+
+def batched_node_keys(
+    bound: BoundRanking, instances, alias: str, own_pairs: Sequence[tuple[str, int]]
+) -> list | None:
+    """:func:`batched_node_key_array` as a plain float list (or ``None``)."""
+    keys = batched_node_key_array(bound, instances, alias, own_pairs)
+    return None if keys is None else keys.tolist()
 
 
 def batched_output_keys(
@@ -737,7 +814,7 @@ def batched_output_keys(
         return None
     weight = bound.batch_weight()
     if weight is None:
-        scores.counters.record_fallback()
+        scores.counters.record_fallback("unbatchable-ranking")
         return None
     arrays = []
     for position, var in enumerate(variables):
@@ -747,6 +824,77 @@ def batched_output_keys(
         arrays.append(arr)
     keys = bound.combine_score_arrays(arrays)
     if keys is None:
-        scores.counters.record_fallback()
+        scores.counters.record_fallback("combine-refused")
         return None
     return keys.tolist()
+
+
+def batched_column_keys(bound: BoundRanking, variables: Sequence[str], columns):
+    """Rank keys of output tuples held as aligned ``int64`` code columns.
+
+    The column-native sibling of :func:`batched_output_keys` for
+    callers that already hold the candidate tuples as arrays (the star
+    enumerator's joined heavy fragments); ``columns[j]`` is variable
+    ``variables[j]``'s values, pre-checked by the caller to come from
+    exactly-``int`` cells.  Returns a ``float64`` key array whose entry
+    ``i`` is bit-identical to ``bound.key_of_output(variables,
+    row_i)``, or ``None`` to refuse.
+    """
+    if not variables or not scores.enabled():
+        return None
+    weight = bound.batch_weight()
+    if weight is None:
+        scores.counters.record_fallback("unbatchable-ranking")
+        return None
+    arrays = []
+    for var, column in zip(variables, columns):
+        view = scores.build_score_view(column, var, weight)
+        if view is None:
+            return None
+        arr = view.take(None)
+        if arr is None:
+            scores.counters.record_fallback("missing-weight")
+            return None
+        arrays.append(arr)
+    keys = bound.combine_score_arrays(arrays)
+    if keys is None:
+        scores.counters.record_fallback("combine-refused")
+        return None
+    return keys
+
+
+def batched_weight_table(
+    weight: WeightFunction, attr: str, rows: Sequence[tuple], position: int
+) -> dict | None:
+    """``{value: weight(attr, value)}`` over one column's distinct values.
+
+    The lexicographic backtracker's score-column analogue: the distinct
+    pass runs as one array operation and the weight function is called
+    once per distinct value, with the **raw** result cached — LEX
+    comparison keys embed the weight call's exact return value (an
+    ``int`` weight orders the same as its float but is a different
+    key), so no ``float64`` conversion is applied.  Values whose weight
+    call raises are left out of the table: the caller's per-value
+    fallback then re-calls the weight function and raises the identical
+    error at the identical point.  ``None`` refuses (scores disabled,
+    non-``int`` cells).
+    """
+    if not scores.enabled():
+        return None
+    if not rows:
+        return {}
+    if not kernels.rows_exactly_int(rows, (position,)):
+        scores.counters.record_fallback("conversion")
+        return None
+    column = kernels.column_array([row[position] for row in rows])
+    if column is None:
+        scores.counters.record_fallback("conversion")
+        return None
+    table: dict[int, Any] = {}
+    for value in kernels.np.unique(column).tolist():
+        try:
+            table[value] = weight(attr, value)
+        except Exception:
+            continue
+    scores.counters.record_call()
+    return table

@@ -37,11 +37,18 @@ from ..data.index import group_by
 from ..errors import NotAStarQueryError
 from ..query.jointree import build_join_tree
 from ..query.query import JoinProjectQuery
+from ..storage import kernels
 from .acyclic import AcyclicRankedEnumerator
 from .answers import EnumerationStats, RankedAnswer
 from .base import RankedEnumeratorBase
 from .heap import HeapStats, RankHeap
-from .ranking import RankingFunction, SumRanking, batched_output_keys
+from .ranking import (
+    RankingFunction,
+    SumRanking,
+    batched_column_keys,
+    batched_output_keys,
+    topk_counters,
+)
 
 __all__ = ["StarTradeoffEnumerator", "star_query_shape"]
 
@@ -126,6 +133,7 @@ class StarTradeoffEnumerator(RankedEnumeratorBase):
         epsilon: float | None = None,
         delta: int | None = None,
         dedup_inserts: bool = True,
+        bulk_topk_max_k: int = 0,
     ):
         self.query = query
         self.db = db
@@ -143,6 +151,7 @@ class StarTradeoffEnumerator(RankedEnumeratorBase):
             raise NotAStarQueryError(f"delta must be >= 1, got {delta}")
         self.delta = int(delta)
         self._dedup_inserts = dedup_inserts
+        self._bulk_topk_max_k = int(bulk_topk_max_k)
 
         self.bound = self.ranking.bind({v: i for i, v in enumerate(query.head)})
         self.heap_stats = HeapStats()
@@ -176,11 +185,11 @@ class StarTradeoffEnumerator(RankedEnumeratorBase):
         b_common = b_common or set()
         for alias, _a_pos, b_pos in self.legs:
             instances[alias] = [r for r in instances[alias] if r[b_pos] in b_common]
+        self.stats.reduce_seconds = time.perf_counter() - started
 
         # Heavy/light split per relation (degree of the A_i value).
         heavy: list[list[Row]] = []
         light: list[list[Row]] = []
-        heavy_by_b: list[dict[Any, list[Any]]] = []
         for alias, a_pos, b_pos in self.legs:
             rows = instances[alias]
             groups = group_by(rows, (a_pos,))
@@ -188,42 +197,49 @@ class StarTradeoffEnumerator(RankedEnumeratorBase):
             l_rows: list[Row] = []
             for (a_value,), grp in groups.items():
                 (h_rows if len(grp) >= self.delta else l_rows).append((a_value, grp))
-            h_flat = [r for _a, grp in h_rows for r in grp]
-            l_flat = [r for _a, grp in l_rows for r in grp]
-            heavy.append(h_flat)
-            light.append(l_flat)
-            by_b: dict[Any, list[Any]] = {}
-            for row in h_flat:
-                by_b.setdefault(row[b_pos], []).append(row[a_pos])
-            heavy_by_b.append(by_b)
+            heavy.append([r for _a, grp in h_rows for r in grp])
+            light.append([r for _a, grp in l_rows for r in grp])
 
-        # O_H: all-heavy output via per-B cartesian products, de-duplicated,
-        # then sorted by (rank key, tuple).
-        distinct: set[Row] = set()
-        if all(heavy_by_b):
-            for b in b_common:
-                lists = []
-                ok = True
-                for by_b in heavy_by_b:
-                    vals = by_b.get(b)
-                    if not vals:
-                        ok = False
-                        break
-                    lists.append(vals)
-                if not ok:
-                    continue
-                self._cartesian_collect(lists, distinct)
-        head = self.query.head
-        candidates = list(distinct)
-        # Score the materialised candidates through the batched key
-        # path (one array pass per head attribute) when the ranking
-        # supports it; identical keys per tuple either way.
-        keys = batched_output_keys(self.bound, head, candidates)
-        if keys is not None:
-            self.heavy_output = sorted(zip(keys, candidates))
+        # O_H: the all-heavy output — iterated B-joins of the heavy
+        # fragments projected to the A_i columns, de-duplicated, sorted
+        # by (rank key, tuple).  The array path does all four steps as
+        # kernel passes; the scalar twin runs per-B cartesian products
+        # into a seen-set.  Same tuples, same keys, same order.
+        vector = self._batched_heavy_output(heavy)
+        if vector is not None:
+            self.heavy_output = vector
         else:
-            key_of = self.bound.key_of_output
-            self.heavy_output = sorted((key_of(head, t), t) for t in candidates)
+            heavy_by_b: list[dict[Any, list[Any]]] = []
+            for (alias, a_pos, b_pos), h_flat in zip(self.legs, heavy):
+                by_b: dict[Any, list[Any]] = {}
+                for row in h_flat:
+                    by_b.setdefault(row[b_pos], []).append(row[a_pos])
+                heavy_by_b.append(by_b)
+            distinct: set[Row] = set()
+            if all(heavy_by_b):
+                for b in b_common:
+                    lists = []
+                    ok = True
+                    for by_b in heavy_by_b:
+                        vals = by_b.get(b)
+                        if not vals:
+                            ok = False
+                            break
+                        lists.append(vals)
+                    if not ok:
+                        continue
+                    self._cartesian_collect(lists, distinct)
+            head = self.query.head
+            candidates = list(distinct)
+            # Score the materialised candidates through the batched key
+            # path (one array pass per head attribute) when the ranking
+            # supports it; identical keys per tuple either way.
+            keys = batched_output_keys(self.bound, head, candidates)
+            if keys is not None:
+                self.heavy_output = sorted(zip(keys, candidates))
+            else:
+                key_of = self.bound.key_of_output
+                self.heavy_output = sorted((key_of(head, t), t) for t in candidates)
         self.stats.cells_created += len(self.heavy_output)
 
         # Subqueries Q_i with join tree T_i (R_i as root).
@@ -250,11 +266,20 @@ class StarTradeoffEnumerator(RankedEnumeratorBase):
                 join_tree=tree,
                 dedup_inserts=self._dedup_inserts,
                 instances=sub_instances,
+                bulk_topk_max_k=self._bulk_topk_max_k,
             )
-            enum.preprocess()
+            if not self._bulk_topk_max_k:
+                # Eager per-subquery queue build (Algorithm 4's
+                # preprocessing).  With bulk top-k enabled the build is
+                # deferred: a bulk-served subquery never needs queues,
+                # and the merge path preprocesses lazily on iteration.
+                enum.preprocess()
             self._subenums.append(enum)
 
         self._preprocessed = True
+        self.stats.build_seconds = (
+            time.perf_counter() - started - self.stats.reduce_seconds
+        )
         self.stats.preprocess_seconds = time.perf_counter() - started
         return self
 
@@ -265,6 +290,59 @@ class StarTradeoffEnumerator(RankedEnumeratorBase):
         for values in lists:
             out = [prefix + (v,) for prefix in out for v in values]
         into.update(out)
+
+    def _batched_heavy_output(self, heavy: list[list[Row]]):
+        """``O_H`` as array passes: join, project, dedup, sort — or ``None``.
+
+        Joins the heavy fragments pairwise on B with the
+        ``pack``/``join_indices`` kernels (the per-B cartesian products
+        fall out of the join itself), projects to the A_i columns,
+        dedups with ``distinct_indices`` and sorts once by (rank key,
+        tuple) via ``lexsort`` over batched score columns.  Exact or
+        refuse: any conversion failure or an unbatchable ranking
+        returns ``None`` and the scalar per-B loop runs unchanged.
+        """
+        if not kernels.enabled():
+            return None
+        if self.bound.batch_weight() is None:
+            return None  # LEX/composite: scalar path sorts with key_of
+        if any(not rows for rows in heavy):
+            return []  # some leg has no heavy tuples: O_H is empty
+        np = kernels.np
+        a_cols = []
+        b_cols = []
+        for (alias, a_pos, b_pos), rows in zip(self.legs, heavy):
+            if not kernels.rows_exactly_int(rows, (a_pos,)):
+                return None  # emitted values must round-trip exactly
+            a = kernels.column_array([r[a_pos] for r in rows])
+            b = kernels.column_array([r[b_pos] for r in rows])
+            if a is None or b is None:
+                return None
+            a_cols.append(a)
+            b_cols.append(b)
+        acc_b = b_cols[0]
+        acc_a = [a_cols[0]]
+        for i in range(1, len(self.legs)):
+            li, ri = kernels.join_indices(acc_b, b_cols[i])
+            acc_b = acc_b[li]
+            acc_a = [c[li] for c in acc_a]
+            acc_a.append(a_cols[i][ri])
+        if not len(acc_b):
+            return []
+        matrix = np.stack(acc_a, axis=1)
+        first = kernels.distinct_indices(matrix)
+        if first is None:
+            return None
+        cand = matrix[first]
+        columns = [cand[:, j] for j in range(cand.shape[1])]
+        keys = batched_column_keys(self.bound, self.query.head, columns)
+        if keys is None:
+            return None
+        order = np.lexsort(tuple(reversed(columns)) + (keys,))
+        return [
+            (key, tuple(values))
+            for key, values in zip(keys[order].tolist(), cand[order].tolist())
+        ]
 
     # ------------------------------------------------------------------ #
     # Algorithm 5: (m+1)-way merge enumeration
@@ -309,6 +387,48 @@ class StarTradeoffEnumerator(RankedEnumeratorBase):
                 merge.push((nxt.key, nxt.values), (nxt, idx))
             ops_mark = self.heap_stats.operations
 
+    # ------------------------------------------------------------------ #
+    # bulk top-k (vectorised small-k serve)
+    # ------------------------------------------------------------------ #
+    def top_k(self, k: int) -> list[RankedAnswer]:
+        """First ``k`` answers; small k skips the merge machinery.
+
+        The streams partition the output and each is served sorted, so
+        the k best answers are within the first k of every stream: take
+        the ``heavy_output`` prefix, ``top_k(k)`` of each subquery
+        enumerator (bulk-served where possible), sort the union once by
+        (key, values) and truncate — identical to the merge emission.
+        Enabled by ``bulk_topk_max_k`` (the engine layer sets it);
+        ``0 < k <= bulk_topk_max_k`` with a batched-capable ranking
+        qualifies, anything else runs the incremental merge.
+        """
+        limit = self._bulk_topk_max_k
+        if limit > 0 and 0 < k <= limit and not self._exhausted and kernels.enabled():
+            if self.bound.batch_weight() is None:
+                topk_counters.record_fallback("unbatchable-ranking")
+            else:
+                answers = self._bulk_topk(k)
+                topk_counters.record_call()
+                return answers
+        return super().top_k(k)
+
+    def _bulk_topk(self, k: int) -> list[RankedAnswer]:
+        self.preprocess()
+        started = time.perf_counter()
+        final = self.bound.final_score
+        candidates = [
+            RankedAnswer(values, final(key), key=key)
+            for key, values in self.heavy_output[:k]
+        ]
+        for enum in self._subenums:
+            candidates.extend(enum.top_k(k))
+        candidates.sort(key=lambda a: (a.key, a.values))
+        answers = candidates[:k]
+        self._exhausted = True
+        self.stats.answers += len(answers)
+        self.stats.enumerate_seconds += time.perf_counter() - started
+        return answers
+
     def fresh(self) -> "StarTradeoffEnumerator":
         """A new enumerator with identical configuration."""
         return StarTradeoffEnumerator(
@@ -317,4 +437,5 @@ class StarTradeoffEnumerator(RankedEnumeratorBase):
             self.ranking,
             delta=self.delta,
             dedup_inserts=self._dedup_inserts,
+            bulk_topk_max_k=self._bulk_topk_max_k,
         )

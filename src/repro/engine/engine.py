@@ -54,7 +54,12 @@ from typing import Any, Iterable, Sequence
 from ..core.answers import RankedAnswer
 from ..core.base import RankedEnumeratorBase
 from ..core.planner import plan_query
-from ..core.ranking import RankingFunction, WeightFunction
+from ..core.ranking import (
+    RankingFunction,
+    WeightFunction,
+    combine_counters,
+    topk_counters,
+)
 from ..data.database import Database
 from ..data.relation import Value
 from ..query.parser import parse_query
@@ -63,7 +68,7 @@ from ..query.query import JoinProjectQuery, UnionQuery
 from ..storage import kernels, scores
 from ..storage.encoded import EncodedDatabase
 from .lru import LRUCache
-from .prepared import PreparedPlan
+from .prepared import _BULK_TOPK_KINDS, PreparedPlan
 from .stats import EngineStats, RequestCounters
 
 __all__ = ["QueryEngine"]
@@ -105,6 +110,17 @@ class QueryEngine:
         included); ``processes``-backend shard workers run in other
         processes and keep the process default — set
         :func:`repro.storage.kernels.set_min_rows` for those.
+    bulk_topk_max_k:
+        Bulk top-k threshold for this engine's executions (``None`` =
+        the default, :data:`repro.core.acyclic.BULK_TOPK_MAX_K`).
+        ``top_k(k)`` requests with ``k`` at or below the threshold are
+        served by one array pass (join, dedup, ``argpartition``-style
+        selection) instead of the per-answer heap loop — bit-identical
+        answers, scores and tie order, with an automatic heap fallback
+        whenever the kernel refuses.  ``0`` disables the bulk kernel
+        entirely (every ``top_k`` keeps the paper's any-delay heap
+        path).  Applies to acyclic and star plans; other enumerators
+        always use their own paths.
     """
 
     def __init__(
@@ -115,6 +131,7 @@ class QueryEngine:
         max_queries: int = 256,
         encode: bool | str = "auto",
         kernel_min_rows: int | None = None,
+        bulk_topk_max_k: int | None = None,
     ):
         if isinstance(db, (str, os.PathLike)):
             from ..storage.persist import open_database
@@ -147,6 +164,9 @@ class QueryEngine:
         # Applied as a thread-local override around execute paths, so
         # concurrent engines with different settings do not interfere.
         self._kernel_min_rows = kernel_min_rows
+        # Bulk top-k threshold override; None leaves the plan-layer
+        # default (``acyclic.BULK_TOPK_MAX_K``), 0 forces the heap path.
+        self._bulk_topk_max_k = bulk_topk_max_k
         self.last_enumerator: RankedEnumeratorBase | None = None
         # Snapshot-backed sessions (``QueryEngine(path)`` or a database
         # from ``repro.open_database``) start warm: the encoded image is
@@ -184,17 +204,22 @@ class QueryEngine:
         with kernels.min_rows_override(self._kernel_min_rows):
             with kernels.counters.collect() as kernel_tally:
                 with scores.counters.collect() as score_tally:
-                    try:
-                        yield
-                    finally:
-                        self.stats.kernel_calls += kernel_tally.calls
-                        self.stats.kernel_fallbacks += kernel_tally.fallbacks
-                        self.stats.score_builds += score_tally.calls
-                        self.stats.score_fallbacks += score_tally.fallbacks
-                        if self._snapshot is not None:
-                            self.stats.snapshot_cow_detaches = (
-                                self._snapshot.cow_detaches
-                            )
+                    with combine_counters.collect() as combine_tally:
+                        with topk_counters.collect() as topk_tally:
+                            try:
+                                yield
+                            finally:
+                                self.stats.kernel_calls += kernel_tally.calls
+                                self.stats.kernel_fallbacks += kernel_tally.fallbacks
+                                self.stats.score_builds += score_tally.calls
+                                self.stats.score_fallbacks += score_tally.fallbacks
+                                self.stats.batched_combines += combine_tally.calls
+                                self.stats.bulk_topk_calls += topk_tally.calls
+                                self.stats.bulk_topk_fallbacks += topk_tally.fallbacks
+                                if self._snapshot is not None:
+                                    self.stats.snapshot_cow_detaches = (
+                                        self._snapshot.cow_detaches
+                                    )
 
     @contextmanager
     def measure(self):
@@ -228,14 +253,19 @@ class QueryEngine:
         started = time.perf_counter()
         with kernels.counters.collect() as kernel_tally:
             with scores.counters.collect() as score_tally:
-                try:
-                    yield request
-                finally:
-                    request.seconds = time.perf_counter() - started
-                    request.kernel_calls = kernel_tally.calls
-                    request.kernel_fallbacks = kernel_tally.fallbacks
-                    request.score_builds = score_tally.calls
-                    request.score_fallbacks = score_tally.fallbacks
+                with combine_counters.collect() as combine_tally:
+                    with topk_counters.collect() as topk_tally:
+                        try:
+                            yield request
+                        finally:
+                            request.seconds = time.perf_counter() - started
+                            request.kernel_calls = kernel_tally.calls
+                            request.kernel_fallbacks = kernel_tally.fallbacks
+                            request.score_builds = score_tally.calls
+                            request.score_fallbacks = score_tally.fallbacks
+                            request.batched_combines = combine_tally.calls
+                            request.bulk_topk_calls = topk_tally.calls
+                            request.bulk_topk_fallbacks = topk_tally.fallbacks
 
     # ------------------------------------------------------------------ #
     # data management
@@ -484,7 +514,14 @@ class QueryEngine:
         )
         # Plans bound to an encoding context switch to the encoded image
         # and decode at emission inside make_enumerator.
-        enum = prepared.make_enumerator(self.db, self.stats)
+        overrides: dict[str, Any] = {}
+        if (
+            self._bulk_topk_max_k is not None
+            and prepared.plan.kind in _BULK_TOPK_KINDS
+            and "bulk_topk_max_k" not in prepared.plan.kwargs
+        ):
+            overrides["bulk_topk_max_k"] = self._bulk_topk_max_k
+        enum = prepared.make_enumerator(self.db, self.stats, **overrides)
         self.last_enumerator = enum
         return enum
 

@@ -31,6 +31,7 @@ import time
 from typing import Any
 
 from ..algorithms.yannakakis import atom_instances, full_reduce, refresh_reduction
+from ..core.acyclic import BULK_TOPK_MAX_K
 from ..core.base import RankedEnumeratorBase
 from ..core.planner import QueryPlan
 from ..data.database import Database
@@ -41,6 +42,12 @@ __all__ = ["PreparedPlan"]
 
 #: Plan kinds whose enumerators accept pre-reduced ``instances``.
 _WARMABLE_KINDS = frozenset({"acyclic", "lex"})
+
+#: Plan kinds whose enumerators accept the ``bulk_topk_max_k`` knob.
+#: Direct enumerator construction defaults the knob to 0 (pure heap
+#: path — what the delay-guarantee tests measure); the engine layer
+#: turns the bulk kernel on for its executions here.
+_BULK_TOPK_KINDS = frozenset({"acyclic", "star"})
 
 
 class PreparedPlan:
@@ -219,6 +226,12 @@ class PreparedPlan:
         """
         self.executions += 1
         target, encoding = self._execution_target(db)
+        if (
+            self.plan.kind in _BULK_TOPK_KINDS
+            and "bulk_topk_max_k" not in overrides
+            and "bulk_topk_max_k" not in self.plan.kwargs
+        ):
+            overrides["bulk_topk_max_k"] = BULK_TOPK_MAX_K
         caller_instances = "instances" in overrides or "instances" in self.plan.kwargs
         if self.plan.kind in _WARMABLE_KINDS and not caller_instances:
             self.warm(target, stats)

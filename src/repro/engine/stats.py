@@ -19,7 +19,9 @@ class RequestCounters:
     contexts of :mod:`repro.storage.kernels` / :mod:`repro.storage.scores`
     (the PR-5 machinery), so two requests running concurrently on one
     engine each see exactly their own ``kernel_calls`` / ``score_builds``
-    — never each other's.
+    — never each other's.  ``batched_combines`` / ``bulk_topk_calls`` /
+    ``bulk_topk_fallbacks`` attribute the vectorised-enumeration layer
+    (:mod:`repro.core.ranking` counters) the same way.
     """
 
     __slots__ = (
@@ -28,6 +30,9 @@ class RequestCounters:
         "kernel_fallbacks",
         "score_builds",
         "score_fallbacks",
+        "batched_combines",
+        "bulk_topk_calls",
+        "bulk_topk_fallbacks",
     )
 
     def __init__(self):
@@ -36,6 +41,9 @@ class RequestCounters:
         self.kernel_fallbacks = 0
         self.score_builds = 0
         self.score_fallbacks = 0
+        self.batched_combines = 0
+        self.bulk_topk_calls = 0
+        self.bulk_topk_fallbacks = 0
 
     def snapshot(self) -> dict:
         """A plain-dict view (what the service protocol serialises)."""
@@ -45,6 +53,9 @@ class RequestCounters:
             "kernel_fallbacks": self.kernel_fallbacks,
             "score_builds": self.score_builds,
             "score_fallbacks": self.score_fallbacks,
+            "batched_combines": self.batched_combines,
+            "bulk_topk_calls": self.bulk_topk_calls,
+            "bulk_topk_fallbacks": self.bulk_topk_fallbacks,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -146,6 +157,21 @@ class EngineStats:
         (LEX/composite rankings, non-``int`` values, missing or
         non-real weights).  Same scoped attribution as the kernel
         counters.
+    batched_combines:
+        Join-tree nodes (and star output builds) whose rank keys were
+        produced by one array combine over the children's key columns
+        instead of a per-candidate Python loop — the vectorised
+        enumeration layer (:data:`repro.core.ranking.combine_counters`).
+        Fallbacks to the scalar combine are counted inside
+        ``score_fallbacks``' sibling reason codes, visible per reason
+        via ``repro.core.ranking.combine_counters.reasons_snapshot()``.
+    bulk_topk_calls / bulk_topk_fallbacks:
+        ``top_k(k)`` requests served by the bulk array kernel (one
+        join+dedup+argpartition pass, bit-identical to heap emission)
+        and requests where the kernel refused — k over the threshold,
+        unbatchable ranking, data not array-representable — so the
+        heap path ran with its usual any-delay guarantees
+        (:data:`repro.core.ranking.topk_counters`).
     snapshot_opens / snapshot_cow_detaches:
         Persistent-store observability: engines constructed over an
         on-disk snapshot (``QueryEngine(path)``) count one open, and
@@ -183,6 +209,9 @@ class EngineStats:
         "kernel_fallbacks",
         "score_builds",
         "score_fallbacks",
+        "batched_combines",
+        "bulk_topk_calls",
+        "bulk_topk_fallbacks",
         "snapshot_opens",
         "snapshot_cow_detaches",
         "journal_records_replayed",
@@ -216,6 +245,9 @@ class EngineStats:
         self.kernel_fallbacks = 0
         self.score_builds = 0
         self.score_fallbacks = 0
+        self.batched_combines = 0
+        self.bulk_topk_calls = 0
+        self.bulk_topk_fallbacks = 0
         self.snapshot_opens = 0
         self.snapshot_cow_detaches = 0
         self.journal_records_replayed = 0
@@ -267,6 +299,9 @@ class EngineStats:
             "kernel_fallbacks": self.kernel_fallbacks,
             "score_builds": self.score_builds,
             "score_fallbacks": self.score_fallbacks,
+            "batched_combines": self.batched_combines,
+            "bulk_topk_calls": self.bulk_topk_calls,
+            "bulk_topk_fallbacks": self.bulk_topk_fallbacks,
             "snapshot_opens": self.snapshot_opens,
             "snapshot_cow_detaches": self.snapshot_cow_detaches,
             "journal_records_replayed": self.journal_records_replayed,

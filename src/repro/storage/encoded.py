@@ -220,6 +220,24 @@ class DecodingEnumerator(RankedEnumeratorBase):
                 key=answer.key,
             )
 
+    def top_k(self, k: int) -> list[RankedAnswer]:
+        """Delegate to the inner enumerator's ``top_k`` and decode.
+
+        Delegation (rather than the mixin's iterate-and-break) lets the
+        inner enumerator serve the request through its bulk top-k
+        kernel when eligible; answers decode identically either way.
+        """
+        values = self.dictionary.values
+        decode_score = self.score_decoder
+        return [
+            RankedAnswer(
+                tuple(values[c] for c in answer.values),
+                decode_score(answer.score),
+                key=answer.key,
+            )
+            for answer in self.inner.top_k(k)
+        ]
+
     @property
     def stats(self):
         """The inner enumerator's instrumentation."""

@@ -125,13 +125,20 @@ def min_rows_override(n: int | None):
 
 
 class Tally:
-    """One scope's share of the counters (see :meth:`KernelCounters.collect`)."""
+    """One scope's share of the counters (see :meth:`KernelCounters.collect`).
 
-    __slots__ = ("calls", "fallbacks")
+    ``reasons`` breaks the fallback total down by reason code (e.g.
+    ``"conversion"`` vs ``"unbatchable-ranking"``), so callers can tell
+    "the data refused the arrays" apart from "the ranking has no array
+    form" without re-running anything.
+    """
+
+    __slots__ = ("calls", "fallbacks", "reasons")
 
     def __init__(self):
         self.calls = 0
         self.fallbacks = 0
+        self.reasons: dict[str, int] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Tally(calls={self.calls}, fallbacks={self.fallbacks})"
@@ -150,7 +157,7 @@ class KernelCounters:
     increments — the race the old snapshot-diff accounting had.
     """
 
-    __slots__ = ("calls", "fallbacks", "_lock", "_local", "__weakref__")
+    __slots__ = ("calls", "fallbacks", "reasons", "_lock", "_local", "__weakref__")
 
     #: Every live instance (kernel + score counters); context capture
     #: snapshots the calling thread's scopes across all of them.  Weak
@@ -161,6 +168,7 @@ class KernelCounters:
     def __init__(self):
         self.calls = 0
         self.fallbacks = 0
+        self.reasons: dict[str, int] = {}
         self._lock = threading.Lock()
         self._local = threading.local()
         KernelCounters._instances.add(self)
@@ -177,11 +185,22 @@ class KernelCounters:
             for tally in self._scopes():
                 tally.calls += 1
 
-    def record_fallback(self) -> None:
+    def record_fallback(self, reason: str = "conversion") -> None:
+        """Count one refusal, tagged with *why* the array path declined.
+
+        Established reason codes: ``"conversion"`` (values not exactly
+        int64-representable), ``"pack-overflow"`` (multi-column key span
+        exceeds 64 bits), ``"non-real-weight"`` / ``"missing-weight"``
+        (score columns), ``"unbatchable-ranking"`` (the ranking has no
+        array form — LEX/composite), ``"combine-refused"`` /
+        ``"scalar-child-keys"`` (batched combine declined).
+        """
         with self._lock:
             self.fallbacks += 1
+            self.reasons[reason] = self.reasons.get(reason, 0) + 1
             for tally in self._scopes():
                 tally.fallbacks += 1
+                tally.reasons[reason] = tally.reasons.get(reason, 0) + 1
 
     @contextmanager
     def collect(self):
@@ -200,10 +219,16 @@ class KernelCounters:
         with self._lock:
             return (self.calls, self.fallbacks)
 
+    def reasons_snapshot(self) -> dict[str, int]:
+        """The fallback-reason breakdown (a copy; totals sum to ``fallbacks``)."""
+        with self._lock:
+            return dict(self.reasons)
+
     def reset(self) -> None:
         with self._lock:
             self.calls = 0
             self.fallbacks = 0
+            self.reasons.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"KernelCounters(calls={self.calls}, fallbacks={self.fallbacks})"
@@ -364,7 +389,7 @@ def shard_ids(values: Sequence[Any], shards: int):
     """
     arr = column_array(values)
     if arr is None:
-        counters.record_fallback()
+        counters.record_fallback("conversion")
         return None
     counters.record_call()
     return (arr % shards).tolist()
@@ -479,7 +504,7 @@ def hash_group(matrix, positions: Sequence[int], rows: Sequence[Row]):
     cols = [matrix[:, i] for i in positions]
     keys = pack_columns(cols)
     if keys is None:
-        counters.record_fallback()
+        counters.record_fallback("pack-overflow")
         return None
     pos = tuple(positions)
     buckets: dict[tuple, list[Row]] = {}
@@ -536,7 +561,7 @@ def distinct_indices(matrix):
         return np.arange(min(n, 1))
     keys = pack_columns([matrix[:, i] for i in range(width)])
     if keys is None:
-        counters.record_fallback()
+        counters.record_fallback("pack-overflow")
         return None
     counters.record_call()
     _unique, first = np.unique(keys, return_index=True)

@@ -216,7 +216,7 @@ def build_score_view(codes, attr: str, weight) -> ScoreView | None:
         return None
     column = build_score_column(codes, attr, weight)
     if column is None:
-        counters.record_fallback()
+        counters.record_fallback("non-real-weight")
         return None
     counters.record_call()
     idx = column.indices(codes)
@@ -237,16 +237,16 @@ def adhoc_score_array(rows, position: int, attr: str, weight) -> Any | None:
     if not enabled():
         return None
     if not kernels.rows_exactly_int(rows, (position,)):
-        counters.record_fallback()
+        counters.record_fallback("conversion")
         return None
     column = kernels.column_array([row[position] for row in rows])
     if column is None:
-        counters.record_fallback()
+        counters.record_fallback("conversion")
         return None
     view = build_score_view(column, attr, weight)
     if view is None:
         return None
     taken = view.take(None)
     if taken is None:
-        counters.record_fallback()
+        counters.record_fallback("missing-weight")
     return taken

@@ -42,6 +42,9 @@ class TestEnumerationStats:
             "peak_pq_entries",
             "total_pq_operations",
             "preprocess_seconds",
+            "reduce_seconds",
+            "build_seconds",
+            "enumerate_seconds",
         }
 
     def test_without_heap_stats(self):

@@ -73,6 +73,8 @@ STORAGE = os.path.join("repro", "storage") + os.sep
 
 SERVICE = os.path.join("repro", "service") + os.sep
 
+CORE = os.path.join("repro", "core") + os.sep
+
 #: (rule name, forbidden regex, allowed prefixes/files, hint, scope) —
 #: one entry per confinement rule.  ``scope`` restricts which modules a
 #: rule examines: ``None`` means repo-wide (with ``allowed`` carving out
@@ -147,6 +149,28 @@ RULES = (
         None,
     ),
     (
+        "batched array machinery outside the ranking/enumerator modules",
+        re.compile(
+            r"\bkernels\.\w|\bscores\.\w"
+            r"|\bcombine_score_arrays\b|\bcombine_key_arrays\b"
+            r"|\bbatched_node_key|\bbatched_output_keys\b"
+            r"|\bbatched_column_keys\b|\bbatched_weight_table\b"
+        ),
+        (
+            os.path.join("repro", "core", "ranking.py"),
+            os.path.join("repro", "core", "acyclic.py"),
+            os.path.join("repro", "core", "star.py"),
+            os.path.join("repro", "core", "lexicographic.py"),
+            os.path.join("repro", "core", "cyclic.py"),
+        ),
+        "inside repro/core the batched-key/array spellings stay confined "
+        "to the ranking module and the enumerators that own a vectorised "
+        "twin (acyclic/star/lexicographic/cyclic); other core modules "
+        "work with plain keys and rows so every batched path keeps a "
+        "scalar twin to fall back to",
+        CORE,
+    ),
+    (
         "service reaching below the engine",
         re.compile(
             r"from\s+(?:repro|\.\.)\.?(?:storage|data)\b"
@@ -202,7 +226,9 @@ def main() -> int:
         "and repro/data/relation.py; score arrays to repro/storage and "
         "repro/core/ranking.py; delta plumbing to repro/storage and the "
         "full reducer; snapshot and journal file formats to "
-        "repro/storage; repro/service isolated from storage/data"
+        "repro/storage; batched-key machinery in repro/core confined to "
+        "ranking.py and the enumerator modules; repro/service isolated "
+        "from storage/data"
     )
     return 0
 
